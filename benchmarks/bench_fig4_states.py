@@ -1,0 +1,88 @@
+"""Figure 4 — the application state transition diagram.
+
+Regenerates the transition table from the implemented FSM and proves
+that scripted user sessions cover every edge of the diagram.
+"""
+
+from repro.analysis import render_table
+from repro.service.states import (
+    SessionEvent as E,
+    SessionState as S,
+    SessionStateMachine,
+    TRANSITIONS,
+    transition_table_rows,
+)
+
+#: Scripted walks that jointly cover every (state, event) edge.
+WALKS = [
+    # subscription, browsing, viewing, pause/resume, reload, end, bye
+    [E.CONNECT, E.NOT_MEMBER, E.SUBSCRIBED, E.REQUEST_DOCUMENT,
+     E.SCENARIO_RECEIVED, E.PAUSE, E.RESUME, E.RELOAD, E.SCENARIO_RECEIVED,
+     E.PRESENTATION_END, E.DISCONNECT],
+    # returning user, rejected request, local link
+    [E.CONNECT, E.AUTH_OK, E.REQUEST_DOCUMENT, E.REQUEST_REJECTED,
+     E.REQUEST_DOCUMENT, E.SCENARIO_RECEIVED, E.FOLLOW_LINK_LOCAL,
+     E.SCENARIO_RECEIVED, E.DISCONNECT],
+    # auth failure
+    [E.CONNECT, E.AUTH_FAIL],
+    # subscription failure
+    [E.CONNECT, E.NOT_MEMBER, E.AUTH_FAIL],
+    # cross-server suspend, return within grace
+    [E.CONNECT, E.AUTH_OK, E.REQUEST_DOCUMENT, E.SCENARIO_RECEIVED,
+     E.FOLLOW_LINK_REMOTE, E.RECONNECTED, E.SCENARIO_RECEIVED,
+     E.PRESENTATION_END, E.DISCONNECT],
+    # cross-server suspend, grace expires
+    [E.CONNECT, E.AUTH_OK, E.REQUEST_DOCUMENT, E.SCENARIO_RECEIVED,
+     E.FOLLOW_LINK_REMOTE, E.SUSPEND_EXPIRED, E.DISCONNECT],
+    # links from the paused state
+    [E.CONNECT, E.AUTH_OK, E.REQUEST_DOCUMENT, E.SCENARIO_RECEIVED,
+     E.PAUSE, E.FOLLOW_LINK_LOCAL, E.SCENARIO_RECEIVED, E.PAUSE,
+     E.FOLLOW_LINK_REMOTE, E.RECONNECTED, E.DISCONNECT],
+    # disconnect from every remaining state
+    [E.CONNECT, E.DISCONNECT],
+    [E.CONNECT, E.NOT_MEMBER, E.DISCONNECT],
+    [E.CONNECT, E.AUTH_OK, E.REQUEST_DOCUMENT, E.DISCONNECT],
+    [E.CONNECT, E.AUTH_OK, E.DISCONNECT],
+    [E.CONNECT, E.AUTH_OK, E.REQUEST_DOCUMENT, E.SCENARIO_RECEIVED,
+     E.PAUSE, E.DISCONNECT],
+    [E.CONNECT, E.AUTH_OK, E.REQUEST_DOCUMENT, E.SCENARIO_RECEIVED,
+     E.FOLLOW_LINK_REMOTE, E.DISCONNECT],
+]
+
+
+def walk_all():
+    covered = set()
+    for walk in WALKS:
+        fsm = SessionStateMachine()
+        for event in walk:
+            fsm.fire(event)
+        covered |= fsm.edges_taken()
+        assert fsm.state in (S.DISCONNECTED, S.BROWSING, S.VIEWING)
+    return covered
+
+
+def test_fig4_transition_table(report, once):
+    rows = once(transition_table_rows)
+    assert len(rows) == len(TRANSITIONS)
+    report("fig4_states",
+           render_table("Figure 4 — application state transition diagram",
+                        ["state", "event", "next state"], rows))
+
+
+def test_fig4_every_edge_exercised(once):
+    covered = once(walk_all)
+    missing = {(s.value, e.value) for s, e in set(TRANSITIONS) - covered}
+    assert not missing, f"uncovered Figure 4 edges: {sorted(missing)}"
+
+
+def test_fsm_throughput(benchmark):
+    walk = WALKS[0]
+
+    def run():
+        fsm = SessionStateMachine()
+        for event in walk:
+            fsm.fire(event)
+        return fsm
+
+    fsm = benchmark(run)
+    assert fsm.state is S.DISCONNECTED

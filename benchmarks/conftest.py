@@ -1,0 +1,39 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one of the paper's tables/figures (or one of
+the DESIGN.md experiments), writes the rendered artefact to
+``benchmarks/out/<name>.txt`` and asserts the qualitative claims, so
+a green benchmark run certifies the reproduction's shape.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture
+def report():
+    """Write a rendered artefact to benchmarks/out and echo it."""
+
+    def _report(name: str, text: str) -> None:
+        OUT_DIR.mkdir(exist_ok=True)
+        path = OUT_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[written to {path}]")
+
+    return _report
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a heavy simulation exactly once under pytest-benchmark."""
+
+    def _once(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return _once

@@ -1,0 +1,6 @@
+"""Shim for legacy (non-PEP-517) editable installs on offline hosts
+where the `wheel` package is unavailable."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,34 @@
+"""repro — reproduction of "On-Demand Hypermedia/Multimedia Service
+over Broadband Networks" (HPDC-5, 1996).
+
+Public API entry points:
+
+* :class:`repro.core.ServiceEngine` — compose and run the full
+  service (servers + network + client);
+* :class:`repro.hml.DocumentBuilder` / :func:`repro.hml.parse` /
+  :func:`repro.hml.serialize` — author and exchange presentation
+  scenarios;
+* :class:`repro.hermes.HermesService` — the distance-education
+  application;
+* :mod:`repro.core.experiments` — the canned experiment runners
+  behind the benchmark harness.
+
+See README.md for a tour and DESIGN.md for the system inventory.
+"""
+
+__version__ = "1.0.0"
+
+from repro.core import EngineConfig, ServiceEngine, SessionResult, TrafficConfig
+from repro.hml import DocumentBuilder, HmlDocument, parse, serialize
+
+__all__ = [
+    "DocumentBuilder",
+    "EngineConfig",
+    "HmlDocument",
+    "ServiceEngine",
+    "SessionResult",
+    "TrafficConfig",
+    "__version__",
+    "parse",
+    "serialize",
+]

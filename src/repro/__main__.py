@@ -1,0 +1,124 @@
+"""Command-line front end: run any experiment or regenerate any figure.
+
+Usage:
+    python -m repro list
+    python -m repro run e3            # an experiment (e1..e11)
+    python -m repro run fig2          # a figure/table artefact
+    python -m repro demo              # the quickstart delivery
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis import render_table
+
+EXPERIMENTS = {
+    "e1": ("run_time_window_sweep", "media time window vs quality"),
+    "e2": ("run_skew_control_matrix", "short-term skew control"),
+    "e3": ("run_grading_comparison", "long-term quality grading"),
+    "e4": ("run_admission_sweep", "admission by pricing class"),
+    "e5": ("run_watermark_comparison", "buffer watermarks [LIT 92]"),
+    "e6": ("run_navigation_grace", "suspend grace interval"),
+    "e7": ("run_search_experiment", "distributed search"),
+    "e8": ("run_grading_order_ablation", "degrade-order ablation"),
+    "e9": ("run_interplay_experiment", "short- vs long-term timing"),
+    "e10": ("run_scaling_experiment", "concurrent-session scaling"),
+    "e11": ("run_atm_comparison", "ATM access link (future work)"),
+}
+
+FIGURES = {
+    "table1": "the keyword table",
+    "fig1": "the grammar BNF",
+    "fig2": "the example scenario timeline",
+    "fig4": "the session state machine",
+}
+
+
+def _run_experiment(key: str) -> int:
+    import repro.core.experiments as exp
+
+    fn_name, title = EXPERIMENTS[key]
+    out = getattr(exp, fn_name)()
+    headers, rows = out[0], out[1]
+    print(render_table(f"{key.upper()} — {title}", headers, rows))
+    return 0
+
+
+def _run_figure(key: str) -> int:
+    if key == "table1":
+        from repro.hml.tokens import keyword_table_rows
+
+        print(render_table("Table 1 — Description of basic keywords",
+                           ["Keyword", "Description"], keyword_table_rows()))
+    elif key == "fig1":
+        from repro.hml.grammar import grammar_text
+
+        print("Figure 1 — Grammar of the language in BNF notation")
+        print(grammar_text())
+    elif key == "fig2":
+        from repro.hml.examples import figure2_document
+        from repro.model import ascii_timeline, build_playout_schedule
+
+        print("Figure 2 — the example scenario's playout timeline")
+        print(ascii_timeline(build_playout_schedule(figure2_document())))
+    elif key == "fig4":
+        from repro.service.states import transition_table_rows
+
+        print(render_table("Figure 4 — application state transitions",
+                           ["state", "event", "next state"],
+                           transition_table_rows()))
+    return 0
+
+
+def _demo() -> int:
+    from repro.core import ServiceEngine
+    from repro.core.experiments import av_markup
+
+    eng = ServiceEngine()
+    eng.add_server("srv1", documents={"demo": (av_markup(6.0, True), "demo")})
+    result = eng.run_full_session("srv1", "demo")
+    print(render_table(
+        "Demo delivery (6 s synchronized A/V + images)",
+        ["stream", "frames", "gaps"],
+        [[sid, s.frames_played, s.gaps]
+         for sid, s in sorted(result.streams.items())],
+    ))
+    print(f"worst skew: {result.worst_skew_s() * 1e3:.1f} ms; "
+          f"startup: {result.startup_latency_s:.2f} s")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    if not args or args[0] in ("-h", "--help", "help"):
+        print(__doc__)
+        return 0
+    cmd = args[0]
+    if cmd == "list":
+        print("experiments:")
+        for k, (_, title) in EXPERIMENTS.items():
+            print(f"  {k:<6} {title}")
+        print("figures:")
+        for k, title in FIGURES.items():
+            print(f"  {k:<6} {title}")
+        return 0
+    if cmd == "demo":
+        return _demo()
+    if cmd == "run":
+        if len(args) < 2:
+            print("usage: python -m repro run <e1..e11|table1|fig1|fig2|fig4>")
+            return 2
+        key = args[1].lower()
+        if key in EXPERIMENTS:
+            return _run_experiment(key)
+        if key in FIGURES:
+            return _run_figure(key)
+        print(f"unknown target {key!r}; try 'python -m repro list'")
+        return 2
+    print(f"unknown command {cmd!r}; try 'python -m repro help'")
+    return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

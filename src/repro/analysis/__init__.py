@@ -1,0 +1,21 @@
+"""Result analysis and report rendering for the experiment harness."""
+
+from repro.analysis.stats import mean_ci, summarize
+from repro.analysis.tables import render_series, render_table
+from repro.analysis.traces import (
+    event_rate_series,
+    gap_timeline,
+    occupancy_series,
+    staircase_at,
+)
+
+__all__ = [
+    "event_rate_series",
+    "gap_timeline",
+    "mean_ci",
+    "occupancy_series",
+    "render_series",
+    "render_table",
+    "staircase_at",
+    "summarize",
+]

@@ -1,0 +1,89 @@
+"""Time-series analysis of presentation runs.
+
+Turns the raw artefacts of a session (the playout event log, buffer
+occupancy samples, grade trajectories) into resampled series for
+plotting or numeric comparison: the view an evaluation section builds
+its time-axis figures from.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.client.metrics import PlayoutEventKind, PlayoutEventLog
+
+__all__ = [
+    "event_rate_series",
+    "gap_timeline",
+    "occupancy_series",
+    "staircase_at",
+]
+
+
+def gap_timeline(log: PlayoutEventLog, stream_id: str) -> list[float]:
+    """Times of every gap event of one stream."""
+    return [e.time for e in log.events
+            if e.stream_id == stream_id and e.kind is PlayoutEventKind.GAP]
+
+
+def event_rate_series(
+    log: PlayoutEventLog,
+    stream_id: str,
+    kind: PlayoutEventKind,
+    bin_s: float = 1.0,
+) -> list[tuple[float, int]]:
+    """(bin start time, events in bin) histogram of one event kind.
+
+    Bins span from the stream's first to last event; empty bins are
+    included so the series is plottable as-is.
+    """
+    if bin_s <= 0:
+        raise ValueError("bin_s must be positive")
+    times = [e.time for e in log.events if e.stream_id == stream_id]
+    if not times:
+        return []
+    t0, t1 = min(times), max(times)
+    n_bins = max(1, int(np.ceil((t1 - t0) / bin_s + 1e-12)) or 1)
+    hits = [e.time for e in log.events
+            if e.stream_id == stream_id and e.kind is kind]
+    counts, edges = np.histogram(
+        hits, bins=n_bins, range=(t0, t0 + n_bins * bin_s)
+    )
+    return [(float(edges[i]), int(counts[i])) for i in range(n_bins)]
+
+
+def occupancy_series(
+    samples: list[tuple[float, float]],
+    step_s: float = 0.5,
+) -> list[tuple[float, float]]:
+    """Resample (time, occupancy) onto a regular grid (zero-order
+    hold — the buffer keeps its level between samples)."""
+    if step_s <= 0:
+        raise ValueError("step_s must be positive")
+    if not samples:
+        return []
+    samples = sorted(samples)
+    t0, t1 = samples[0][0], samples[-1][0]
+    out: list[tuple[float, float]] = []
+    idx = 0
+    t = t0
+    current = samples[0][1]
+    while t <= t1 + 1e-12:
+        while idx < len(samples) and samples[idx][0] <= t:
+            current = samples[idx][1]
+            idx += 1
+        out.append((round(t, 9), current))
+        t += step_s
+    return out
+
+
+def staircase_at(trajectory: list[tuple[float, float]], t: float,
+                 initial: float = 0.0) -> float:
+    """Value of a step function (e.g. a grade trajectory) at time t."""
+    value = initial
+    for time, v in sorted(trajectory):
+        if time <= t:
+            value = v
+        else:
+            break
+    return value

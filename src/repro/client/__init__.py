@@ -1,0 +1,36 @@
+"""Client (browser) side of the service.
+
+Implements §4's receiving-edge components: per-stream media buffers
+pre-filled over a *media time window*; the buffer monitor with
+underflow/overflow watermarks; the intermedia skew controller (the
+short-term recovery mechanism: frame dropping/duplication after
+[LIT 92]); the playout scheduler spawning one concurrent playout
+process per stream; the Client QoS Manager measuring delay, jitter
+and loss and feeding RTCP receiver reports back to the server; and
+the Quality-of-Presentation metrics the experiments report.
+"""
+
+from repro.client.metrics import PlayoutEvent, PlayoutEventLog, SkewSeries
+from repro.client.buffers import MediaBuffer, compute_time_window
+from repro.client.monitor import BufferMonitor, BufferState
+from repro.client.skew import SkewController
+from repro.client.playout import PlayoutProcess
+from repro.client.presentation import PresentationScheduler, StreamBinding
+from repro.client.qos_manager import ClientQoSManager
+from repro.client.renderer import VirtualRenderer
+
+__all__ = [
+    "BufferMonitor",
+    "BufferState",
+    "ClientQoSManager",
+    "MediaBuffer",
+    "PlayoutEvent",
+    "PlayoutEventLog",
+    "PlayoutProcess",
+    "PresentationScheduler",
+    "SkewController",
+    "SkewSeries",
+    "StreamBinding",
+    "VirtualRenderer",
+    "compute_time_window",
+]

@@ -1,0 +1,174 @@
+"""Quality-of-Presentation metrics.
+
+Every playout process logs its events here; the experiment harness
+derives the quantities the paper's mechanisms are meant to improve:
+playout gaps (intramedia synchronization failures), rebuffering
+episodes, startup latency, intermedia skew statistics and the
+delivered-quality profile.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["PlayoutEventKind", "PlayoutEvent", "PlayoutEventLog", "SkewSeries"]
+
+#: Lip-sync tolerance from the synchronization literature the paper
+#: builds on (Steinmetz): ±80 ms is where audio/video skew becomes
+#: perceptible.
+DEFAULT_SYNC_THRESHOLD_S = 0.080
+
+
+class PlayoutEventKind(enum.Enum):
+    START = "start"  # stream playout began
+    FRAME = "frame"  # a frame was presented
+    GAP = "gap"  # deadline passed with no frame available
+    DUPLICATE = "duplicate"  # a frame was repeated (skew/underflow action)
+    DROP = "drop"  # a frame was discarded (skew/overflow action)
+    STOP = "stop"  # stream playout finished
+    SHOW = "show"  # discrete media displayed
+    HIDE = "hide"  # discrete media removed
+    PAUSE = "pause"
+    RESUME = "resume"
+
+
+@dataclass(frozen=True, slots=True)
+class PlayoutEvent:
+    time: float  # simulation time
+    stream_id: str
+    kind: PlayoutEventKind
+    media_time_s: float = 0.0
+    grade: int = 0
+
+
+class PlayoutEventLog:
+    """Chronological event log with derived QoP statistics."""
+
+    def __init__(self) -> None:
+        self.events: list[PlayoutEvent] = []
+
+    def record(
+        self,
+        time: float,
+        stream_id: str,
+        kind: PlayoutEventKind,
+        media_time_s: float = 0.0,
+        grade: int = 0,
+    ) -> None:
+        self.events.append(
+            PlayoutEvent(time=time, stream_id=stream_id, kind=kind,
+                         media_time_s=media_time_s, grade=grade)
+        )
+
+    # -- selections -----------------------------------------------------
+    def for_stream(self, stream_id: str) -> list[PlayoutEvent]:
+        return [e for e in self.events if e.stream_id == stream_id]
+
+    def count(self, kind: PlayoutEventKind, stream_id: str | None = None) -> int:
+        return sum(
+            1
+            for e in self.events
+            if e.kind is kind and (stream_id is None or e.stream_id == stream_id)
+        )
+
+    # -- derived QoP ------------------------------------------------------
+    def start_time(self, stream_id: str) -> float | None:
+        """First presentation instant: START for continuous streams,
+        SHOW for discrete elements."""
+        for e in self.events:
+            if e.stream_id == stream_id and e.kind in (
+                PlayoutEventKind.START, PlayoutEventKind.SHOW
+            ):
+                return e.time
+        return None
+
+    def gap_count(self, stream_id: str | None = None) -> int:
+        return self.count(PlayoutEventKind.GAP, stream_id)
+
+    def gap_time_s(self, frame_interval_s: float,
+                   stream_id: str | None = None) -> float:
+        """Total presentation time covered by gaps."""
+        return self.gap_count(stream_id) * frame_interval_s
+
+    def gap_ratio(self, stream_id: str) -> float:
+        frames = self.count(PlayoutEventKind.FRAME, stream_id)
+        dups = self.count(PlayoutEventKind.DUPLICATE, stream_id)
+        gaps = self.gap_count(stream_id)
+        total = frames + dups + gaps
+        return 0.0 if total == 0 else gaps / total
+
+    def mean_grade(self, stream_id: str) -> float:
+        grades = [
+            e.grade
+            for e in self.events
+            if e.stream_id == stream_id and e.kind is PlayoutEventKind.FRAME
+        ]
+        return float(np.mean(grades)) if grades else 0.0
+
+    def grade_trajectory(self, stream_id: str) -> list[tuple[float, int]]:
+        """(time, grade) at each grade change observed during playout."""
+        out: list[tuple[float, int]] = []
+        last: int | None = None
+        for e in self.events:
+            if e.stream_id == stream_id and e.kind is PlayoutEventKind.FRAME:
+                if last is None or e.grade != last:
+                    out.append((e.time, e.grade))
+                    last = e.grade
+        return out
+
+    def summary(self, stream_id: str) -> dict[str, float]:
+        return {
+            "frames": self.count(PlayoutEventKind.FRAME, stream_id),
+            "gaps": self.gap_count(stream_id),
+            "duplicates": self.count(PlayoutEventKind.DUPLICATE, stream_id),
+            "drops": self.count(PlayoutEventKind.DROP, stream_id),
+            "gap_ratio": self.gap_ratio(stream_id),
+            "mean_grade": self.mean_grade(stream_id),
+        }
+
+
+class SkewSeries:
+    """Time series of intermedia skew samples for one sync group.
+
+    Skew convention: (slave presented media time) − (master presented
+    media time), in seconds, sampled at slave playout instants.
+    """
+
+    def __init__(self, group: str,
+                 threshold_s: float = DEFAULT_SYNC_THRESHOLD_S) -> None:
+        if threshold_s <= 0:
+            raise ValueError("threshold must be positive")
+        self.group = group
+        self.threshold_s = threshold_s
+        self.times: list[float] = []
+        self.skews: list[float] = []
+
+    def sample(self, time: float, skew_s: float) -> None:
+        self.times.append(time)
+        self.skews.append(skew_s)
+
+    def __len__(self) -> int:
+        return len(self.skews)
+
+    @property
+    def max_abs_s(self) -> float:
+        return float(np.max(np.abs(self.skews))) if self.skews else 0.0
+
+    @property
+    def mean_abs_s(self) -> float:
+        return float(np.mean(np.abs(self.skews))) if self.skews else 0.0
+
+    @property
+    def fraction_out_of_sync(self) -> float:
+        if not self.skews:
+            return 0.0
+        out = np.abs(np.asarray(self.skews)) > self.threshold_s
+        return float(np.mean(out))
+
+    def percentile_abs_s(self, q: float) -> float:
+        if not self.skews:
+            return 0.0
+        return float(np.percentile(np.abs(self.skews), q))

@@ -1,0 +1,103 @@
+"""Buffer-occupancy monitoring with watermarks (after [LIT 92]).
+
+"When the buffer monitoring mechanism experiences buffer underflow,
+the presentation scheduler may lead to frame duplication in order to
+avoid noticeable gaps in presentation. Correspondingly, when buffer's
+occupancy exceeds some upper threshold, the scheduler should drop
+frames to decrease the buffer's data." (§4)
+
+The monitor classifies the buffer into LOW / NORMAL / HIGH zones
+relative to its time window and recommends the corresponding action;
+the playout process applies it and logs the outcome.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.client.buffers import MediaBuffer
+
+__all__ = ["BufferState", "BufferAction", "BufferMonitor"]
+
+
+class BufferState(enum.Enum):
+    LOW = "low"
+    NORMAL = "normal"
+    HIGH = "high"
+
+
+class BufferAction(enum.Enum):
+    NONE = "none"
+    DUPLICATE = "duplicate"  # hold position: replay last frame
+    DROP = "drop"  # shed buffered frames
+
+
+@dataclass(slots=True)
+class MonitorStats:
+    low_entries: int = 0
+    high_entries: int = 0
+    duplicate_recommendations: int = 0
+    drop_recommendations: int = 0
+    state_trace: list[tuple[float, BufferState]] = field(default_factory=list)
+
+
+class BufferMonitor:
+    """Watermark-based occupancy classifier for one media buffer."""
+
+    def __init__(
+        self,
+        buffer: MediaBuffer,
+        low_watermark: float = 0.25,
+        high_watermark: float = 1.5,
+        max_consecutive_duplicates: int = 3,
+    ) -> None:
+        if not (0.0 <= low_watermark < high_watermark):
+            raise ValueError("need 0 <= low < high watermark")
+        if max_consecutive_duplicates < 1:
+            raise ValueError("max_consecutive_duplicates must be >= 1")
+        self.buffer = buffer
+        self.low_watermark = low_watermark
+        self.high_watermark = high_watermark
+        self.max_consecutive_duplicates = max_consecutive_duplicates
+        self.stats = MonitorStats()
+        self._state = BufferState.NORMAL
+        self._consecutive_duplicates = 0
+
+    @property
+    def state(self) -> BufferState:
+        return self._state
+
+    def classify(self) -> BufferState:
+        ratio = self.buffer.occupancy_ratio
+        if ratio < self.low_watermark:
+            return BufferState.LOW
+        if ratio > self.high_watermark:
+            return BufferState.HIGH
+        return BufferState.NORMAL
+
+    def check(self, now: float) -> BufferAction:
+        """Reclassify and recommend an action for this playout tick."""
+        new_state = self.classify()
+        if new_state is not self._state:
+            if new_state is BufferState.LOW:
+                self.stats.low_entries += 1
+            elif new_state is BufferState.HIGH:
+                self.stats.high_entries += 1
+            self.stats.state_trace.append((now, new_state))
+            self._state = new_state
+        if self._state is BufferState.LOW and not self.buffer.is_empty:
+            # Stretch what we have: recommend repeating frames so the
+            # buffer refills before it runs completely dry — but cap
+            # consecutive repeats so a stream whose source has simply
+            # ended still drains (no duplication livelock).
+            if self._consecutive_duplicates < self.max_consecutive_duplicates:
+                self._consecutive_duplicates += 1
+                self.stats.duplicate_recommendations += 1
+                return BufferAction.DUPLICATE
+            return BufferAction.NONE
+        self._consecutive_duplicates = 0
+        if self._state is BufferState.HIGH:
+            self.stats.drop_recommendations += 1
+            return BufferAction.DROP
+        return BufferAction.NONE

@@ -1,0 +1,112 @@
+"""Client QoS Manager.
+
+"Incoming data packets of a specific stream, besides other
+information, carry a timestamping indication which is used by the
+Client QoS Manager to carry out conclusions about the connection's
+condition, e.g. the packet delay, the delay jitter. Based on this
+information, the client QoS manager, periodically or in specifically
+calculated intervals, sends feedback reports to the sending side"
+(§4).
+
+One manager aggregates all of a presentation's RTP receivers and owns
+their RTCP reporters; it also exposes the per-stream connection
+condition for local decisions (e.g. time-window sizing of late-bound
+buffers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.topology import Network
+from repro.rtp.rtcp import RtcpReporter
+from repro.rtp.session import RtpReceiver
+
+__all__ = ["ClientQoSManager", "ConnectionCondition"]
+
+
+@dataclass(frozen=True, slots=True)
+class ConnectionCondition:
+    """Snapshot of one stream's observed network condition."""
+
+    stream_id: str
+    mean_delay_s: float
+    last_delay_s: float
+    jitter_s: float
+    cumulative_lost: int
+    packets_received: int
+
+    @property
+    def loss_ratio(self) -> float:
+        total = self.packets_received + self.cumulative_lost
+        return 0.0 if total == 0 else self.cumulative_lost / total
+
+
+class ClientQoSManager:
+    """Aggregates receiver statistics and runs the feedback loop."""
+
+    def __init__(self, network: Network, node_id: str,
+                 report_interval_s: float = 1.0,
+                 adaptive: bool = False) -> None:
+        if report_interval_s <= 0:
+            raise ValueError("report_interval_s must be positive")
+        self.network = network
+        self.node_id = node_id
+        self.report_interval_s = report_interval_s
+        self.adaptive = adaptive
+        self._receivers: dict[str, RtpReceiver] = {}
+        self._reporters: dict[str, RtcpReporter] = {}
+
+    def register_stream(
+        self,
+        receiver: RtpReceiver,
+        rtcp_port: int,
+        server_node: str,
+        server_rtcp_port: int,
+        ssrc: int,
+    ) -> RtcpReporter:
+        """Attach a stream and start its periodic receiver reports."""
+        stream_id = receiver.stream_id
+        if stream_id in self._receivers:
+            raise ValueError(f"stream {stream_id!r} already registered")
+        self._receivers[stream_id] = receiver
+        reporter = RtcpReporter(
+            self.network, receiver, self.node_id, rtcp_port,
+            server_node, server_rtcp_port, ssrc=ssrc,
+            interval_s=self.report_interval_s,
+            adaptive=self.adaptive,
+            min_interval_s=min(0.25, self.report_interval_s),
+        )
+        self._reporters[stream_id] = reporter
+        return reporter
+
+    def stop(self) -> None:
+        for reporter in self._reporters.values():
+            reporter.stop()
+
+    # -- queries -----------------------------------------------------------
+    def streams(self) -> list[str]:
+        return sorted(self._receivers)
+
+    def condition(self, stream_id: str) -> ConnectionCondition:
+        try:
+            rx = self._receivers[stream_id]
+        except KeyError:
+            raise KeyError(f"no registered stream {stream_id!r}") from None
+        st = rx.stats
+        return ConnectionCondition(
+            stream_id=stream_id,
+            mean_delay_s=st.mean_delay_s,
+            last_delay_s=st.last_delay_s,
+            jitter_s=rx.jitter.jitter_s,
+            cumulative_lost=st.cumulative_lost,
+            packets_received=st.packets_received,
+        )
+
+    def worst_jitter_s(self) -> float:
+        if not self._receivers:
+            return 0.0
+        return max(rx.jitter.jitter_s for rx in self._receivers.values())
+
+    def reports_sent(self) -> int:
+        return sum(r.reports_sent for r in self._reporters.values())

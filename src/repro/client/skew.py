@@ -1,0 +1,118 @@
+"""Intermedia skew control — the short-term recovery mechanism.
+
+"If intermedia skew is introduced among synchronized streams ... the
+scheduler may drop frames from the stream that leads in time or
+duplicate frames of the lagging stream in order to maintain a better
+synchronization. In this way, a *short term* synchronization
+incoherence recovery method is provided" (§4).
+
+Implementation: each sync group has a *master* (the audio stream —
+users tolerate degraded video better than degraded audio) and
+*slaves*. At each slave playout tick the controller compares
+presented media positions:
+
+* slave **ahead** of master beyond the threshold → the slave
+  *duplicates* (replays) its current frame, holding its position
+  until the master catches up;
+* slave **behind** beyond the threshold → the slave *drops* (skips)
+  buffered frames to jump forward.
+
+Both primitives are exactly the paper's {drop, duplicate} toolset and
+keep |skew| bounded near the threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.client.metrics import DEFAULT_SYNC_THRESHOLD_S, SkewSeries
+
+__all__ = ["SkewController", "SkewDecision"]
+
+
+@dataclass(frozen=True, slots=True)
+class SkewDecision:
+    """What a slave stream should do at this playout tick."""
+
+    action: str  # "play" | "duplicate" | "drop"
+    drop_count: int = 0  # frames to skip when action == "drop"
+
+
+@dataclass(slots=True)
+class SkewControllerStats:
+    duplicates: int = 0
+    drops: int = 0
+    decisions: int = 0
+
+
+class SkewController:
+    """Skew measurement and drop/duplicate decisions for one group."""
+
+    def __init__(
+        self,
+        group: str,
+        master_id: str,
+        threshold_s: float = DEFAULT_SYNC_THRESHOLD_S,
+        max_drops_per_tick: int = 3,
+        enabled: bool = True,
+    ) -> None:
+        if threshold_s <= 0:
+            raise ValueError("threshold_s must be positive")
+        if max_drops_per_tick < 1:
+            raise ValueError("max_drops_per_tick must be >= 1")
+        self.group = group
+        self.master_id = master_id
+        self.threshold_s = threshold_s
+        self.max_drops_per_tick = max_drops_per_tick
+        self.enabled = enabled
+        self.series = SkewSeries(group, threshold_s=threshold_s)
+        self.stats = SkewControllerStats()
+        self._positions: dict[str, float] = {}
+        self._active: dict[str, bool] = {}
+
+    # -- position reporting ----------------------------------------------
+    def report_position(self, stream_id: str, media_time_s: float,
+                        active: bool = True) -> None:
+        """Streams report their presented media position each tick."""
+        self._positions[stream_id] = media_time_s
+        self._active[stream_id] = active
+
+    def master_position(self) -> float | None:
+        if not self._active.get(self.master_id, False):
+            return None
+        return self._positions.get(self.master_id)
+
+    def skew_of(self, stream_id: str) -> float | None:
+        """Current skew (slave − master) in seconds, if both known."""
+        master = self.master_position()
+        slave = self._positions.get(stream_id)
+        if master is None or slave is None:
+            return None
+        return slave - master
+
+    # -- decisions -----------------------------------------------------------
+    def decide(self, stream_id: str, now: float,
+               frame_interval_s: float) -> SkewDecision:
+        """Decision for a slave's next playout tick.
+
+        Must be called by slaves only (the master never adjusts — it
+        is the timing reference).
+        """
+        if stream_id == self.master_id:
+            raise ValueError("the sync master does not take skew decisions")
+        skew = self.skew_of(stream_id)
+        if skew is None:
+            return SkewDecision("play")
+        self.series.sample(now, skew)
+        self.stats.decisions += 1
+        if not self.enabled:
+            return SkewDecision("play")
+        if skew > self.threshold_s:
+            self.stats.duplicates += 1
+            return SkewDecision("duplicate")
+        if skew < -self.threshold_s and frame_interval_s > 0:
+            behind_frames = int(-skew / frame_interval_s)
+            n = max(1, min(self.max_drops_per_tick, behind_frames))
+            self.stats.drops += n
+            return SkewDecision("drop", drop_count=n)
+        return SkewDecision("play")

@@ -1,0 +1,20 @@
+"""The end-to-end on-demand hypermedia service engine.
+
+Composes every substrate — network, RTP/RTCP, servers, client — into
+the complete system of the paper's Figure 3 and runs full on-demand
+delivery sessions: connect/authenticate/admit, scenario transfer,
+flow scheduling, parallel media-server streaming, client buffering
+and synchronized playout, the RTCP feedback loop and quality grading.
+"""
+
+from repro.core.config import EngineConfig, TrafficConfig
+from repro.core.engine import ServiceEngine, ClientComposition
+from repro.core.results import SessionResult
+
+__all__ = [
+    "ClientComposition",
+    "EngineConfig",
+    "ServiceEngine",
+    "SessionResult",
+    "TrafficConfig",
+]

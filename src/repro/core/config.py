@@ -1,0 +1,78 @@
+"""Engine and experiment configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.server.qos_manager import GradingPolicy
+
+__all__ = ["TrafficConfig", "EngineConfig"]
+
+
+@dataclass(frozen=True, slots=True)
+class TrafficConfig:
+    """One cross-traffic source loading the client's access link."""
+
+    kind: str = "onoff"  # "onoff" | "poisson"
+    rate_bps: float = 2e6  # mean rate (poisson) / peak rate (onoff)
+    on_mean_s: float = 1.0
+    off_mean_s: float = 1.0
+    start_at: float = 0.0
+    stop_at: float = float("inf")
+    packet_bytes: int = 1000
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("onoff", "poisson"):
+            raise ValueError(f"unknown traffic kind {self.kind!r}")
+
+
+@dataclass(slots=True)
+class EngineConfig:
+    """Knobs of a full-service simulation run."""
+
+    seed: int = 0
+    # topology (paper-era broadband access)
+    access_rate_bps: float = 10e6  # router -> client (the bottleneck)
+    access_delay_s: float = 0.010
+    backbone_rate_bps: float = 100e6
+    backbone_delay_s: float = 0.005
+    access_queue_packets: int = 60
+    backbone_queue_packets: int = 500
+    #: give the access link an ATM cell layer (§7 future-work testbed)
+    atm_access: bool = False
+    #: place each media server on its own host ("each multimedia server
+    #: may consist of various media servers", §2 — they "may be located
+    #: in the same host" (§6.1) but need not be). Separate hosts give
+    #: each media type its own network path.
+    separate_media_hosts: bool = False
+    # optional random loss on the access link
+    loss_p_gb: float = 0.0
+    loss_p_bg: float = 0.3
+    loss_bad: float = 0.3
+    # feedback / grading
+    rtcp_interval_s: float = 1.0
+    #: "periodically or in specifically calculated intervals" (§4):
+    #: adaptive reporters shrink the interval under congestion and
+    #: relax it when conditions are clear
+    rtcp_adaptive: bool = False
+    grading_policy: GradingPolicy | None = None
+    # client
+    time_window_s: float | None = None  # None: statistical sizing
+    skew_control: bool = True
+    buffer_monitor: bool = True
+    flow_lead_s: float = 1.0
+    sync_threshold_s: float = 0.080
+    # service
+    suspend_grace_s: float = 30.0
+    admission_capacity_bps: float = 50e6
+    # synthetic content defaults
+    image_bytes: int = 40_000
+    text_bytes: int = 4_000
+    # cross traffic
+    traffic: list[TrafficConfig] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.access_rate_bps <= 0 or self.backbone_rate_bps <= 0:
+            raise ValueError("link rates must be positive")
+        if self.rtcp_interval_s <= 0:
+            raise ValueError("rtcp_interval_s must be positive")

@@ -1,0 +1,583 @@
+"""Full-service composition and session orchestration.
+
+Topology (the simulated "broadband network" of the paper):
+
+    client ── access link ── router ── backbone links ── server hosts
+                                └───── cross-traffic sources
+
+Each multimedia server host carries the multimedia server and its
+media servers (the paper allows them to share a host); cross traffic
+loads the router→client access link, the path all media share.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.client.metrics import PlayoutEventKind, PlayoutEventLog
+from repro.client.presentation import PresentationScheduler, StreamBinding
+from repro.client.qos_manager import ClientQoSManager
+from repro.des import Simulator
+from repro.des.rng import RngRegistry
+from repro.hml.parser import parse
+from repro.media.encodings import CodecRegistry, default_registry
+from repro.media.store import MediaStore
+from repro.media.types import (
+    ContinuousMediaObject,
+    DiscreteMediaObject,
+    MediaType,
+)
+from repro.model.scenario import PresentationScenario
+from repro.net.channel import ReliableReceiver
+from repro.net.impairments import GilbertElliottLoss
+from repro.net.topology import Network
+from repro.net.traffic import OnOffTrafficSource, PoissonTrafficSource
+from repro.rtp.session import RtpReceiver
+from repro.core.config import EngineConfig
+from repro.core.results import SessionResult, StreamResult
+from repro.server.accounts import AccountRegistry
+from repro.server.admission import AdmissionController
+from repro.server.database import MultimediaDatabase
+from repro.server.media_server import MediaServer
+from repro.server.multimedia_server import MultimediaServer
+from repro.service.messages import ControlChannel
+from repro.service.session import ClientSession, ServerSessionHandler
+
+__all__ = ["ServiceEngine", "ClientComposition"]
+
+_session_ids = itertools.count(1)
+
+
+class ServiceEngine:
+    """Builds the whole system and runs on-demand sessions."""
+
+    CLIENT = "client"
+    ROUTER = "router"
+
+    def __init__(self, config: EngineConfig | None = None) -> None:
+        self.config = config if config is not None else EngineConfig()
+        self.sim = Simulator()
+        self.rng = RngRegistry(seed=self.config.seed)
+        self.codecs: CodecRegistry = default_registry()
+        self.network = Network(self.sim)
+        self.accounts = AccountRegistry()
+        self.servers: dict[str, MultimediaServer] = {}
+        self._channel_port = 10_000
+        self._client_port = 40_000
+        self._traffic_nodes = 0
+        self._build_backbone()
+
+    # -- topology -----------------------------------------------------------
+    def _build_backbone(self) -> None:
+        cfg = self.config
+        self.network.add_node(self.CLIENT)
+        self.network.add_node(self.ROUTER)
+        loss = None
+        if cfg.loss_p_gb > 0:
+            loss = GilbertElliottLoss(
+                self.rng.stream("access-loss"),
+                p_gb=cfg.loss_p_gb, p_bg=cfg.loss_p_bg, loss_bad=cfg.loss_bad,
+            )
+        # Downstream (router -> client) is the shared bottleneck.
+        self.network.add_link(
+            self.ROUTER, self.CLIENT, cfg.access_rate_bps, cfg.access_delay_s,
+            queue_packets=cfg.access_queue_packets, loss_model=loss,
+            atm=cfg.atm_access,
+        )
+        self.network.add_link(
+            self.CLIENT, self.ROUTER, cfg.access_rate_bps, cfg.access_delay_s,
+            queue_packets=cfg.access_queue_packets, atm=cfg.atm_access,
+        )
+        for tc in cfg.traffic:
+            self._add_traffic(tc)
+
+    def _add_traffic(self, tc) -> None:
+        self._traffic_nodes += 1
+        node = f"xsrc{self._traffic_nodes}"
+        self.network.add_node(node)
+        self.network.add_duplex_link(
+            node, self.ROUTER, self.config.backbone_rate_bps,
+            0.001, queue_packets=self.config.backbone_queue_packets,
+        )
+        rng = self.rng.stream(f"traffic:{node}")
+        if tc.kind == "poisson":
+            PoissonTrafficSource(
+                self.network, node, self.CLIENT, rng, rate_bps=tc.rate_bps,
+                packet_bytes=tc.packet_bytes, start_at=tc.start_at,
+                stop_at=tc.stop_at,
+            )
+        else:
+            OnOffTrafficSource(
+                self.network, node, self.CLIENT, rng,
+                peak_rate_bps=tc.rate_bps, on_mean_s=tc.on_mean_s,
+                off_mean_s=tc.off_mean_s, packet_bytes=tc.packet_bytes,
+                start_at=tc.start_at, stop_at=tc.stop_at,
+            )
+
+    # -- service construction ----------------------------------------------
+    def add_server(
+        self,
+        name: str,
+        documents: dict[str, tuple[str, str]] | None = None,
+        description: str = "",
+    ) -> MultimediaServer:
+        """Add a multimedia server host.
+
+        ``documents`` maps document name → (markup, topic); media
+        stores are provisioned automatically from the scenarios'
+        content indexes (synthetic objects per DESIGN.md).
+        """
+        if name in self.servers:
+            raise ValueError(f"server {name!r} already exists")
+        node_id = f"host:{name}"
+        self.network.add_node(node_id)
+        self.network.add_duplex_link(
+            node_id, self.ROUTER, self.config.backbone_rate_bps,
+            self.config.backbone_delay_s,
+            queue_packets=self.config.backbone_queue_packets,
+        )
+        database = MultimediaDatabase()
+        media_servers: dict[str, MediaServer] = {}
+        server = MultimediaServer(
+            self.sim, name, node_id, database, self.accounts, self.codecs,
+            media_servers,
+            admission=AdmissionController(self.config.admission_capacity_bps),
+            grading_policy=self.config.grading_policy,
+            description=description,
+        )
+        self.servers[name] = server
+        for peer in self.servers.values():
+            if peer is not server:
+                peer.add_peer(server)
+                server.add_peer(peer)
+        if documents:
+            for doc_name, (markup, topic) in documents.items():
+                self.add_document(name, doc_name, markup, topic)
+        return server
+
+    def add_document(self, server_name: str, doc_name: str, markup: str,
+                     topic: str = "general") -> None:
+        """Store a document and provision its media objects."""
+        server = self.servers[server_name]
+        server.database.add_markup(doc_name, markup, topic=topic)
+        scenario = PresentationScenario.from_document(parse(markup))
+        for spec in scenario.streams:
+            ms = self._media_server_for(server, spec.locator.server or
+                                        f"{server_name}-media")
+            path = spec.locator.path
+            if path in ms.store:
+                continue
+            if spec.is_continuous:
+                duration = spec.entry.duration or 60.0
+                codec = self.codecs.default_for(spec.media_type)
+                ms.store.add(
+                    ContinuousMediaObject(path, spec.media_type, codec.name,
+                                          duration_s=duration)
+                )
+            else:
+                size = (self.config.image_bytes
+                        if spec.media_type is MediaType.IMAGE
+                        else self.config.text_bytes)
+                ms.store.add(
+                    DiscreteMediaObject(path, spec.media_type, "GIF",
+                                        size_bytes=size)
+                )
+
+    def _media_server_for(self, server: MultimediaServer,
+                          media_name: str) -> MediaServer:
+        """Create (or return) a media server.
+
+        By default media servers share their multimedia server's host
+        (§6.1); with ``separate_media_hosts`` each gets its own node
+        behind the router, so each media type takes its own network
+        path to the client.
+        """
+        if media_name not in server.media_servers:
+            if self.config.separate_media_hosts:
+                node_id = f"host:{media_name}"
+                if node_id not in self.network.nodes:
+                    self.network.add_node(node_id)
+                    self.network.add_duplex_link(
+                        node_id, self.ROUTER,
+                        self.config.backbone_rate_bps,
+                        self.config.backbone_delay_s,
+                        queue_packets=self.config.backbone_queue_packets,
+                    )
+            else:
+                node_id = server.node_id
+            store = MediaStore(self.codecs, self.rng)
+            server.media_servers[media_name] = MediaServer(
+                self.sim, self.network, media_name, node_id, store
+            )
+        return server.media_servers[media_name]
+
+    # -- client construction ---------------------------------------------------
+    def open_session(self, server_name: str, user_id: str,
+                     secret: str) -> tuple[ClientSession, ServerSessionHandler]:
+        """Create the control channel + protocol endpoints to a server."""
+        server = self.servers[server_name]
+        port = self._channel_port
+        self._channel_port += 10
+        channel = ControlChannel(self.network, self.CLIENT, server.node_id,
+                                 base_port=port)
+        session_id = f"sess-{next(_session_ids)}"
+        handler = ServerSessionHandler(
+            server, channel.server, session_id, self.CLIENT,
+            suspend_grace_s=self.config.suspend_grace_s,
+            flow_lead_s=self.config.flow_lead_s,
+        )
+        client = ClientSession(self.sim, channel.client, user_id, secret)
+        return client, handler
+
+    def build_client_composition(self, markup: str,
+                                 server: MultimediaServer,
+                                 ) -> "ClientComposition":
+        return ClientComposition(self, markup, server)
+
+    # -- convenience: full scripted run -------------------------------------------
+    def _session_script(self, client, handler, server, document: str,
+                        result_box: dict[str, Any], contract: str,
+                        subscribe_first: bool, start_delay_s: float = 0.0):
+        """The canonical session coroutine: connect → request → view
+        → disconnect, leaving its artefacts in ``result_box``."""
+        from repro.server.accounts import SubscriptionForm
+
+        cfg = self.config
+        user_id = client.user_id
+        if start_delay_s > 0:
+            yield self.sim.timeout(start_delay_s)
+        resp = yield from client.connect()
+        if resp.msg_type == "subscribe-required" and subscribe_first:
+            form = SubscriptionForm(
+                real_name=user_id.title(), address="somewhere",
+                email=f"{user_id}@example.org",
+            )
+            resp = yield from client.subscribe(form, contract=contract)
+        if resp.msg_type != "connect-ok":
+            result_box["error"] = resp.body.get("reason", "rejected")
+            return
+        resp = yield from client.request_document(document)
+        if resp.msg_type != "scenario":
+            result_box["error"] = resp.body.get("reason", "no scenario")
+            return
+        comp = self.build_client_composition(resp.body["markup"], server)
+        ready = yield from client.send_ready(
+            comp.rtp_ports, comp.discrete_ports, lead_s=cfg.flow_lead_s
+        )
+        comp.attach_feedback(ready.body["rtcp_port"], server.node_id)
+        done = comp.start()
+        yield done
+        client.end_presentation()
+        comp.qos.stop()
+        # Capture server-side state that disconnect tears down.
+        if handler.session is not None:
+            mgr = handler.session.qos_manager
+            result_box["decisions"] = list(mgr.decisions)
+            result_box["trajectories"] = {
+                sid: conv.grade_trajectory()
+                for sid, conv in mgr.converters().items()
+                if sid in comp.receivers
+            }
+        charge = yield from client.disconnect()
+        result_box["comp"] = comp
+        result_box["charge"] = charge
+
+    def run_full_session(
+        self,
+        server_name: str,
+        document: str,
+        user_id: str = "user1",
+        secret: str = "pw",
+        contract: str = "basic",
+        subscribe_first: bool = True,
+        horizon_s: float = 600.0,
+    ) -> SessionResult:
+        """Script a complete session: connect → request → view → bye."""
+        server = self.servers[server_name]
+        client, handler = self.open_session(server_name, user_id, secret)
+        result_box: dict[str, Any] = {}
+        proc = self.sim.process(
+            self._session_script(client, handler, server, document,
+                                 result_box, contract, subscribe_first),
+            name="scripted-session",
+        )
+        guard = self.sim.any_of([proc, self.sim.timeout(horizon_s)])
+        self.sim.run(until=guard)
+        if not proc.triggered:
+            return SessionResult(document=document, completed=False,
+                                 startup_latency_s=None, charge=0.0,
+                                 events=["horizon reached"])
+        self.sim.run(until=self.sim.now + 1.0)
+        if "error" in result_box:
+            return SessionResult(document=document, completed=False,
+                                 startup_latency_s=None, charge=0.0,
+                                 events=[result_box["error"]])
+        comp: ClientComposition = result_box["comp"]
+        return comp.collect_result(
+            document, charge=result_box["charge"],
+            grading_decisions=result_box.get("decisions", []),
+            grade_trajectories=result_box.get("trajectories", {}),
+        )
+
+
+    def run_concurrent_sessions(
+        self,
+        server_name: str,
+        document: str,
+        n_sessions: int,
+        stagger_s: float = 0.5,
+        contract: str = "basic",
+        horizon_s: float = 600.0,
+    ) -> list[SessionResult]:
+        """Run ``n_sessions`` simultaneous viewers of one document.
+
+        Sessions start ``stagger_s`` apart and share the access-link
+        bottleneck; each gets its own control channel, buffers, RTP
+        ports and server-side QoS manager. Returns one
+        :class:`SessionResult` per session (uncompleted sessions get
+        ``completed=False``).
+        """
+        if n_sessions < 1:
+            raise ValueError("n_sessions must be >= 1")
+        server = self.servers[server_name]
+        boxes: list[dict[str, Any]] = []
+        procs = []
+        for i in range(n_sessions):
+            client, handler = self.open_session(
+                server_name, f"user{i + 1}", "pw"
+            )
+            box: dict[str, Any] = {}
+            boxes.append(box)
+            procs.append(self.sim.process(
+                self._session_script(client, handler, server, document,
+                                     box, contract, True,
+                                     start_delay_s=i * stagger_s),
+                name=f"session-{i + 1}",
+            ))
+        guard = self.sim.any_of(
+            [self.sim.all_of(procs), self.sim.timeout(horizon_s)]
+        )
+        self.sim.run(until=guard)
+        self.sim.run(until=self.sim.now + 1.0)
+        results: list[SessionResult] = []
+        for box in boxes:
+            if "comp" in box:
+                comp: ClientComposition = box["comp"]
+                results.append(comp.collect_result(
+                    document, charge=box.get("charge", 0.0),
+                    grading_decisions=box.get("decisions", []),
+                    grade_trajectories=box.get("trajectories", {}),
+                ))
+            else:
+                results.append(SessionResult(
+                    document=document, completed=False,
+                    startup_latency_s=None, charge=0.0,
+                    events=[box.get("error", "did not finish")],
+                ))
+        return results
+
+    def run_autoplay_sequence(
+        self,
+        server_name: str,
+        first_document: str,
+        user_id: str = "user1",
+        secret: str = "pw",
+        max_documents: int = 10,
+        horizon_s: float = 600.0,
+    ) -> list[dict[str, Any]]:
+        """Follow the author's pre-orchestrated sequence (§3).
+
+        Plays ``first_document`` and auto-follows its AT-timed
+        hyperlink when the time elapses — "this feature can preserve
+        the sequential nature or 'writer's way' of presentation, in
+        the absence of user involvement" — until a document has no
+        timed link or ``max_documents`` is reached. Returns one entry
+        per visited document with its outcome and navigation history.
+        """
+        from repro.server.accounts import SubscriptionForm
+        from repro.service.history import NavigationHistory
+
+        server = self.servers[server_name]
+        client, handler = self.open_session(server_name, user_id, secret)
+        history = NavigationHistory()
+        visits: list[dict[str, Any]] = []
+
+        def script():
+            resp = yield from client.connect()
+            if resp.msg_type == "subscribe-required":
+                resp = yield from client.subscribe(SubscriptionForm(
+                    real_name=user_id.title(), address="somewhere",
+                    email=f"{user_id}@example.org"))
+            if resp.msg_type != "connect-ok":
+                return
+            current = first_document
+            via_link = False
+            for _ in range(max_documents):
+                resp = yield from client.request_document(current,
+                                                          via_link=via_link)
+                via_link = True
+                if resp.msg_type != "scenario":
+                    break
+                history.visit(current)
+                comp = self.build_client_composition(resp.body["markup"],
+                                                     server)
+                ready = yield from client.send_ready(
+                    comp.rtp_ports, comp.discrete_ports,
+                    lead_s=self.config.flow_lead_s,
+                )
+                comp.attach_feedback(ready.body["rtcp_port"],
+                                     server.node_id)
+                done = comp.start()
+                link = comp.scenario.timed_link()
+                interrupted = False
+                if link is not None and link.at_time is not None:
+                    fire_at = comp.scheduler.initial_delay_s + link.at_time
+                    timer = self.sim.timeout(fire_at)
+                    yield self.sim.any_of([done, timer])
+                    if not done.triggered:
+                        comp.scheduler.interrupt()
+                        interrupted = True
+                        yield from client.stop_streams()
+                else:
+                    yield done
+                comp.qos.stop()
+                visits.append({
+                    "document": current,
+                    "interrupted": interrupted,
+                    "frames": sum(
+                        comp.log.summary(s.stream_id)["frames"]
+                        for s in comp.scenario.continuous_streams()
+                    ),
+                })
+                if link is None:
+                    break
+                # Follow the timed link (state is still VIEWING whether
+                # the presentation completed or was interrupted).
+                client.follow_link_local()
+                current = link.target_document
+            yield from client.disconnect()
+
+        proc = self.sim.process(script(), name="autoplay")
+        guard = self.sim.any_of([proc, self.sim.timeout(horizon_s)])
+        self.sim.run(until=guard)
+        self.sim.run(until=self.sim.now + 1.0)
+        return [dict(v, history=history.entries()) for v in visits]
+
+
+class ClientComposition:
+    """The browser's machinery for one document presentation."""
+
+    def __init__(self, engine: ServiceEngine, markup: str,
+                 server: MultimediaServer) -> None:
+        self.engine = engine
+        self.sim = engine.sim
+        self.network = engine.network
+        self.server = server
+        cfg = engine.config
+        self.scenario = PresentationScenario.from_markup(markup)
+        self.log = PlayoutEventLog()
+        self.qos = ClientQoSManager(self.network, engine.CLIENT,
+                                    report_interval_s=cfg.rtcp_interval_s,
+                                    adaptive=cfg.rtcp_adaptive)
+        self.receivers: dict[str, RtpReceiver] = {}
+        self.rtp_ports: dict[str, int] = {}
+        self.discrete_ports: dict[str, int] = {}
+        self._discrete_rx: list[ReliableReceiver] = []
+
+        bindings: dict[str, StreamBinding] = {}
+        for spec in self.scenario.continuous_streams():
+            codec = engine.codecs.default_for(spec.media_type)
+            bindings[spec.stream_id] = StreamBinding(
+                spec.stream_id, codec.clock_rate,
+                codec.best.frame_interval_s,
+            )
+        self.scheduler = PresentationScheduler(
+            self.sim, self.scenario, bindings, log=self.log,
+            time_window_s=cfg.time_window_s,
+            skew_enabled=cfg.skew_control,
+            monitor_enabled=cfg.buffer_monitor,
+            sync_threshold_s=cfg.sync_threshold_s,
+        )
+        for spec in self.scenario.continuous_streams():
+            sid = spec.stream_id
+            port = engine._client_port
+            engine._client_port += 1
+            codec = engine.codecs.default_for(spec.media_type)
+            self.receivers[sid] = RtpReceiver(
+                self.network, engine.CLIENT, port, codec.clock_rate, sid,
+                on_frame=self.scheduler.frame_sink(sid),
+            )
+            self.rtp_ports[sid] = port
+        for spec in self.scenario.discrete_streams():
+            sid = spec.stream_id
+            port = engine._client_port
+            engine._client_port += 1
+            rx = ReliableReceiver(
+                self.network, engine.CLIENT, port,
+                on_message=lambda data, size, flow, _sid=sid:
+                    self.scheduler.mark_loaded(_sid),
+            )
+            self._discrete_rx.append(rx)
+            self.discrete_ports[sid] = port
+
+    def attach_feedback(self, server_rtcp_port: int,
+                        server_node: str) -> None:
+        """Start RTCP receiver reports toward the server's sink."""
+        ssrc = 0
+        for sid, receiver in sorted(self.receivers.items()):
+            ssrc += 1
+            port = self.engine._client_port
+            self.engine._client_port += 1
+            self.qos.register_stream(receiver, port, server_node,
+                                     server_rtcp_port, ssrc=ssrc)
+
+    def start(self):
+        """Begin presentation; returns the all-finished event."""
+        return self.scheduler.start()
+
+    # -- results -------------------------------------------------------------
+    def collect_result(self, document: str, charge: float = 0.0,
+                       grading_decisions: list | None = None,
+                       grade_trajectories: dict | None = None,
+                       completed: bool = True) -> SessionResult:
+        result = SessionResult(
+            document=document,
+            completed=completed,
+            startup_latency_s=self.scheduler.startup_latency_s(),
+            charge=charge,
+            skew=dict(self.scheduler.skew_series()),
+            protocol_bytes=dict(self.network.tap.bytes_by_protocol),
+            log=self.log,
+        )
+        for spec in self.scenario.streams:
+            sid = spec.stream_id
+            summary = self.log.summary(sid)
+            sr = StreamResult(
+                stream_id=sid,
+                media_type=spec.media_type.value,
+                frames_played=int(summary["frames"]),
+                gaps=int(summary["gaps"]),
+                duplicates=int(summary["duplicates"]),
+                drops=int(summary["drops"]),
+                gap_ratio=summary["gap_ratio"],
+                mean_grade=summary["mean_grade"],
+            )
+            rx = self.receivers.get(sid)
+            if rx is not None:
+                sr.packets_received = rx.stats.packets_received
+                sr.packets_lost = rx.stats.cumulative_lost
+                sr.mean_delay_s = rx.stats.mean_delay_s
+                sr.jitter_s = rx.jitter.jitter_s
+            buf = self.scheduler.buffers.get(sid)
+            if buf is not None:
+                sr.buffer_overflow_drops = buf.stats.overflow_drops
+                sr.buffer_underflows = buf.stats.underflow_events
+                sr.time_window_s = buf.time_window_s
+            result.streams[sid] = sr
+        if grading_decisions:
+            result.grading_decisions = list(grading_decisions)
+        if grade_trajectories:
+            result.grade_trajectories = dict(grade_trajectories)
+        return result

@@ -1,0 +1,385 @@
+"""Event queue, events and generator-based processes.
+
+The kernel is intentionally small and deterministic:
+
+* time is a ``float`` number of simulated seconds;
+* events scheduled for the same instant fire in schedule order
+  (a monotonically increasing sequence number breaks ties);
+* processes are plain Python generators that ``yield`` events and are
+  resumed with the event's value when it triggers.
+
+Nothing here knows about networks or media — higher layers build on
+:class:`Simulator` only through :meth:`Simulator.process`,
+:meth:`Simulator.timeout`, :meth:`Simulator.event` and the resource
+classes in :mod:`repro.des.resources`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections.abc import Callable, Generator, Iterable
+from typing import Any
+
+__all__ = [
+    "Event",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "AnyOf",
+    "AllOf",
+    "Simulator",
+]
+
+
+class Interrupt(Exception):
+    """Thrown into a process that another process interrupts.
+
+    The paper's client interrupts running playout processes when the
+    user activates a hyperlink mid-presentation; this exception models
+    that preemption.
+    """
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence processes can wait for.
+
+    An event is *triggered* once, either successfully (with a value)
+    or as a failure (with an exception). Callbacks registered before
+    triggering run, in registration order, when the kernel processes
+    the event.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_triggered", "_processed")
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self.callbacks: list[Callable[[Event], None]] | None = []
+        self._value: Any = None
+        self._ok: bool = True
+        self._triggered = False
+        self._processed = False
+
+    # -- state --------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        return self._value
+
+    # -- triggering ---------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._triggered:
+            raise RuntimeError(f"{self!r} already triggered")
+        self._triggered = True
+        self._value = value
+        self._ok = True
+        self.sim._enqueue_event(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event as a failure carrying ``exception``."""
+        if self._triggered:
+            raise RuntimeError(f"{self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._triggered = True
+        self._value = exception
+        self._ok = False
+        self.sim._enqueue_event(self)
+        return self
+
+    def _run_callbacks(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        self._processed = True
+        if callbacks:
+            for cb in callbacks:
+                cb(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "triggered" if self._triggered else "pending"
+        return f"<{type(self).__name__} {state} at t={self.sim.now:.6f}>"
+
+
+class Timeout(Event):
+    """An event that triggers ``delay`` seconds in the future."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        self._value = value
+        sim._schedule_at(sim.now + delay, self)
+
+
+class Process(Event):
+    """A running generator; also an event that triggers on completion.
+
+    The generator may ``yield``:
+
+    * an :class:`Event` (including another :class:`Process`) — the
+      process resumes with the event's value when it triggers;
+    * ``None`` — the process resumes on the next kernel step (a
+      cooperative yield at the same simulated time).
+    """
+
+    __slots__ = ("gen", "name", "_waiting_on")
+
+    def __init__(
+        self, sim: "Simulator", gen: Generator[Any, Any, Any], name: str = ""
+    ) -> None:
+        super().__init__(sim)
+        if not isinstance(gen, Generator):
+            raise TypeError(f"Process requires a generator, got {type(gen).__name__}")
+        self.gen = gen
+        self.name = name or getattr(gen, "__name__", "process")
+        self._waiting_on: Event | None = None
+        # Kick off at the current instant.
+        init = Event(sim)
+        init.callbacks.append(self._resume)
+        init.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a finished process is a no-op error, mirroring the
+        fact that a completed playout cannot be preempted.
+        """
+        if self._triggered:
+            raise RuntimeError(f"cannot interrupt finished process {self.name!r}")
+        target = self._waiting_on
+        if target is not None and target.callbacks is not None:
+            try:
+                target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._waiting_on = None
+        wakeup = Event(self.sim)
+        wakeup.callbacks.append(lambda ev: self._step(throw=Interrupt(cause)))
+        wakeup.succeed()
+
+    # -- internals ----------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        self._waiting_on = None
+        if event.ok:
+            self._step(send=event.value)
+        else:
+            self._step(throw=event.value)
+
+    def _step(self, send: Any = None, throw: BaseException | None = None) -> None:
+        if self._triggered:
+            return
+        try:
+            if throw is not None:
+                target = self.gen.throw(throw)
+            else:
+                target = self.gen.send(send)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except Interrupt:
+            # Uncaught interrupt terminates the process quietly: the
+            # preempted playout simply ends.
+            self.succeed(None)
+            return
+        except BaseException as exc:
+            self.fail(exc)
+            return
+
+        if target is None:
+            target = Event(self.sim)
+            target.succeed()
+        if not isinstance(target, Event):
+            self.gen.close()
+            self.fail(TypeError(f"process {self.name!r} yielded {target!r}"))
+            return
+        if target.callbacks is None:
+            # Already processed: resume immediately via a fresh event so
+            # ordering stays FIFO at this instant.
+            proxy = Event(self.sim)
+            proxy.callbacks.append(self._resume)
+            if target.ok:
+                proxy.succeed(target.value)
+            else:
+                proxy._ok = False
+                proxy._value = target.value
+                proxy._triggered = True
+                self.sim._enqueue_event(proxy)
+            self._waiting_on = proxy
+        else:
+            target.callbacks.append(self._resume)
+            self._waiting_on = target
+
+
+class _Condition(Event):
+    """Base for AnyOf/AllOf composite events."""
+
+    __slots__ = ("events", "_count")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
+        super().__init__(sim)
+        self.events = tuple(events)
+        self._count = 0
+        if not self.events:
+            self.succeed({})
+            return
+        for ev in self.events:
+            if ev.callbacks is None:
+                self._on_trigger(ev)
+            else:
+                ev.callbacks.append(self._on_trigger)
+
+    def _collect(self) -> dict[Event, Any]:
+        return {ev: ev.value for ev in self.events if ev.triggered}
+
+    def _on_trigger(self, event: Event) -> None:
+        raise NotImplementedError
+
+
+class AnyOf(_Condition):
+    """Triggers when any constituent event triggers."""
+
+    __slots__ = ()
+
+    def _on_trigger(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if not event.ok:
+            self.fail(event.value)
+        else:
+            self.succeed(self._collect())
+
+
+class AllOf(_Condition):
+    """Triggers when all constituent events have triggered."""
+
+    __slots__ = ()
+
+    def _on_trigger(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if not event.ok:
+            self.fail(event.value)
+            return
+        self._count += 1
+        if self._count == len(self.events):
+            self.succeed(self._collect())
+
+
+class Simulator:
+    """The event queue and simulated clock."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: list[tuple[float, int, Event]] = []
+        self._seq = itertools.count()
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    # -- construction helpers -----------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(
+        self, gen: Generator[Any, Any, Any], name: str = ""
+    ) -> Process:
+        return Process(self, gen, name=name)
+
+    def call_later(self, delay: float, fn: Callable[[], None]) -> Timeout:
+        """Invoke ``fn()`` after ``delay`` seconds (fire-and-forget).
+
+        Lighter than spawning a process for one-shot actions such as
+        a packet emerging from a propagation delay.
+        """
+        t = Timeout(self, delay)
+        t.callbacks.append(lambda _ev: fn())
+        return t
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    # -- scheduling ----------------------------------------------------
+    def _schedule_at(self, time: float, event: Event) -> None:
+        if time < self._now:
+            raise ValueError(f"cannot schedule into the past: {time} < {self._now}")
+        heapq.heappush(self._heap, (time, next(self._seq), event))
+
+    def _enqueue_event(self, event: Event) -> None:
+        heapq.heappush(self._heap, (self._now, next(self._seq), event))
+
+    # -- execution ------------------------------------------------------
+    def step(self) -> None:
+        """Process the single next event."""
+        time, _, event = heapq.heappop(self._heap)
+        self._now = time
+        # Timeouts trigger at their fire instant (succeed()/fail() set
+        # the flag eagerly for ordinary events).
+        event._triggered = True
+        event._run_callbacks()
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def run(self, until: float | Event | None = None) -> Any:
+        """Run until the queue drains, a deadline, or an event triggers.
+
+        ``until`` may be a time (run up to and including that instant),
+        an :class:`Event` (run until it triggers; its value is
+        returned), or ``None`` (drain the queue).
+        """
+        if self._running:
+            raise RuntimeError("simulator is not reentrant")
+        self._running = True
+        try:
+            if isinstance(until, Event):
+                while not until.triggered or not until.processed:
+                    if not self._heap:
+                        raise RuntimeError(
+                            "event queue drained before `until` event triggered"
+                        )
+                    self.step()
+                if not until.ok:
+                    raise until.value
+                return until.value
+            deadline = float("inf") if until is None else float(until)
+            if deadline < self._now:
+                raise ValueError(f"deadline {deadline} is in the past (now={self._now})")
+            while self._heap and self._heap[0][0] <= deadline:
+                self.step()
+            if until is not None:
+                self._now = max(self._now, deadline)
+            return None
+        finally:
+            self._running = False

@@ -1,0 +1,122 @@
+"""Waitable FIFO stores for inter-process communication.
+
+The client's media buffers and every message queue between service
+components are built on :class:`Store`: a bounded FIFO whose ``get``
+and ``put`` operations are events a process can wait on.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+from repro.des.kernel import Event, Simulator
+
+__all__ = ["Store", "QueueFullError"]
+
+
+class QueueFullError(Exception):
+    """Raised by :meth:`Store.put_nowait` when the store is at capacity."""
+
+
+class StorePut(Event):
+    """Pending put; triggers when the item has been accepted."""
+
+    __slots__ = ("item",)
+
+    def __init__(self, store: "Store", item: Any) -> None:
+        super().__init__(store.sim)
+        self.item = item
+
+
+class StoreGet(Event):
+    """Pending get; triggers with the retrieved item."""
+
+    __slots__ = ()
+
+
+class Store:
+    """Bounded FIFO store with blocking get/put events.
+
+    ``capacity`` may be ``float('inf')`` for an unbounded queue. Items
+    are delivered in strict FIFO order; waiting getters are served in
+    request order (no overtaking), which keeps media frames in
+    sequence through the buffer layer.
+    """
+
+    def __init__(self, sim: Simulator, capacity: float = float("inf")) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.items: deque[Any] = deque()
+        self._getters: deque[StoreGet] = deque()
+        self._putters: deque[StorePut] = deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    @property
+    def level(self) -> int:
+        """Number of items currently stored."""
+        return len(self.items)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self.items) >= self.capacity
+
+    # -- blocking interface --------------------------------------------
+    def put(self, item: Any) -> StorePut:
+        ev = StorePut(self, item)
+        self._putters.append(ev)
+        self._dispatch()
+        return ev
+
+    def get(self) -> StoreGet:
+        ev = StoreGet(self.sim)
+        self._getters.append(ev)
+        self._dispatch()
+        return ev
+
+    # -- non-blocking interface ------------------------------------------
+    def put_nowait(self, item: Any) -> None:
+        """Insert immediately or raise :class:`QueueFullError`.
+
+        Used by lossy paths (e.g. a full receive buffer drops the
+        arriving frame instead of back-pressuring the network).
+        """
+        if self.is_full:
+            raise QueueFullError(f"store at capacity {self.capacity}")
+        self.items.append(item)
+        self._dispatch()
+
+    def get_nowait(self) -> Any:
+        """Remove and return the head item; raise ``IndexError`` if empty."""
+        if not self.items:
+            raise IndexError("get from empty store")
+        item = self.items.popleft()
+        self._dispatch()
+        return item
+
+    def peek(self) -> Any:
+        """Return the head item without removing it."""
+        if not self.items:
+            raise IndexError("peek at empty store")
+        return self.items[0]
+
+    # -- internals -------------------------------------------------------
+    def _dispatch(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            # Admit pending puts while there is room.
+            while self._putters and len(self.items) < self.capacity:
+                put = self._putters.popleft()
+                self.items.append(put.item)
+                put.succeed()
+                progressed = True
+            # Serve pending gets while items exist.
+            while self._getters and self.items:
+                get = self._getters.popleft()
+                get.succeed(self.items.popleft())
+                progressed = True

@@ -1,0 +1,27 @@
+"""Hermes — the distance-education service built on the design (§6).
+
+Lesson authoring on top of HML, the multi-server lesson catalogue,
+the tutor↔student asynchronous e-mail interaction (SMTP/MIME path of
+Figure 5), and a service composition that provisions Hermes servers
+onto the core engine.
+"""
+
+from repro.hermes.lessons import Lesson, LessonBuilder, make_course
+from repro.hermes.catalog import HermesCatalog, ServerDescription
+from repro.hermes.mail import Attachment, MailMessage, MailService, Mailbox
+from repro.hermes.service import HermesService
+from repro.hermes.browser import HermesBrowser
+
+__all__ = [
+    "Attachment",
+    "HermesBrowser",
+    "HermesCatalog",
+    "HermesService",
+    "Lesson",
+    "LessonBuilder",
+    "MailMessage",
+    "MailService",
+    "Mailbox",
+    "ServerDescription",
+    "make_course",
+]

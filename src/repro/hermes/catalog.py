@@ -1,0 +1,63 @@
+"""The Hermes server catalogue (§6.2.1).
+
+"Initially, the user must specify the Hermes server that he wishes to
+connect to. For that reason, a list of available Hermes servers is
+provided. For every Hermes server, a small description concerning the
+kind of lessons that are stored in it, is presented. Every Hermes
+server contains lessons concerning specific and well known thematic
+units."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ServerDescription", "HermesCatalog"]
+
+
+@dataclass(frozen=True, slots=True)
+class ServerDescription:
+    name: str
+    description: str
+    thematic_units: tuple[str, ...]
+
+    def covers(self, unit: str) -> bool:
+        return unit.lower() in (u.lower() for u in self.thematic_units)
+
+
+class HermesCatalog:
+    """The list of available Hermes servers shown at connect time."""
+
+    def __init__(self) -> None:
+        self._servers: dict[str, ServerDescription] = {}
+
+    def register(self, name: str, description: str,
+                 thematic_units: list[str]) -> ServerDescription:
+        if name in self._servers:
+            raise ValueError(f"server {name!r} already in the catalogue")
+        if not thematic_units:
+            raise ValueError("a Hermes server needs at least one thematic unit")
+        desc = ServerDescription(name=name, description=description,
+                                 thematic_units=tuple(thematic_units))
+        self._servers[name] = desc
+        return desc
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._servers
+
+    def __len__(self) -> int:
+        return len(self._servers)
+
+    def listing(self) -> list[ServerDescription]:
+        """What the user sees when picking a server."""
+        return [self._servers[n] for n in sorted(self._servers)]
+
+    def get(self, name: str) -> ServerDescription:
+        try:
+            return self._servers[name]
+        except KeyError:
+            raise KeyError(f"no Hermes server {name!r}") from None
+
+    def servers_for_unit(self, unit: str) -> list[str]:
+        """Servers likely to contain lessons on a thematic unit."""
+        return sorted(n for n, d in self._servers.items() if d.covers(unit))

@@ -1,0 +1,66 @@
+"""HML — the paper's hypermedia markup language.
+
+An HTML-like markup extended with temporal primitives: every media
+element can carry a relative playout start time (``STARTIME``) and a
+``DURATION``; synchronized audio+video groups (``AU_VI``) share their
+start instants; hyperlinks (``HLINK``) may carry an ``AT`` time that
+auto-follows them, preserving the author's sequential presentation in
+the absence of user involvement (§3).
+
+Pipeline: text → :func:`tokenize` → :func:`parse` →
+:class:`HmlDocument` AST → (:func:`serialize` round-trips;
+:func:`validate_document` checks semantic rules;
+:class:`DocumentBuilder` authors ASTs programmatically).
+"""
+
+from repro.hml.tokens import KEYWORDS, KeywordInfo, Token, TokenKind
+from repro.hml.lexer import HmlSyntaxError, tokenize
+from repro.hml.ast import (
+    AudioElement,
+    AudioVideoElement,
+    Heading,
+    HmlDocument,
+    HmlElement,
+    HyperLink,
+    ImageElement,
+    LinkKind,
+    Paragraph,
+    Separator,
+    TextBlock,
+    TextSpan,
+    VideoElement,
+)
+from repro.hml.parser import parse
+from repro.hml.grammar import GRAMMAR_PRODUCTIONS, grammar_text
+from repro.hml.serializer import serialize
+from repro.hml.builder import DocumentBuilder
+from repro.hml.validate import ValidationIssue, validate_document
+
+__all__ = [
+    "AudioElement",
+    "AudioVideoElement",
+    "DocumentBuilder",
+    "GRAMMAR_PRODUCTIONS",
+    "Heading",
+    "HmlDocument",
+    "HmlElement",
+    "HmlSyntaxError",
+    "HyperLink",
+    "ImageElement",
+    "KEYWORDS",
+    "KeywordInfo",
+    "LinkKind",
+    "Paragraph",
+    "Separator",
+    "TextBlock",
+    "TextSpan",
+    "Token",
+    "TokenKind",
+    "ValidationIssue",
+    "VideoElement",
+    "grammar_text",
+    "parse",
+    "serialize",
+    "tokenize",
+    "validate_document",
+]

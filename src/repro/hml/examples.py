@@ -1,0 +1,64 @@
+"""Canonical example documents, including the paper's §3.1 scenario.
+
+:func:`figure2_document` reconstructs the worked example of Figure 2:
+formatted text shown throughout; image I1 from t=0 for d_i1; image I2
+from t_i2 for d_i2; audio A1 synchronized with video V from t_a1 for
+d_v; audio A2 from t_a2 for d_a2. The concrete time values are free
+parameters in the paper; the defaults here lay the elements out
+exactly as the figure's timeline does (I1 then I2; A1+V overlapping;
+A2 after).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hml.ast import HmlDocument
+from repro.hml.builder import DocumentBuilder
+
+__all__ = ["Figure2Times", "figure2_document", "figure2_markup"]
+
+
+@dataclass(frozen=True, slots=True)
+class Figure2Times:
+    """The symbolic instants of the Figure 2 scenario."""
+
+    d_i1: float = 6.0  # image I1 duration, shown from t=0
+    t_i2: float = 6.0  # image I2 start (after I1 per the figure)
+    d_i2: float = 10.0  # image I2 duration
+    t_a1: float = 4.0  # audio A1 = video V start
+    d_v: float = 8.0  # shared duration of A1 and V
+    t_a2: float = 13.0  # audio A2 start
+    d_a2: float = 5.0  # audio A2 duration
+
+
+def figure2_document(times: Figure2Times | None = None) -> HmlDocument:
+    """The Figure 2 scenario as an AST."""
+    t = times or Figure2Times()
+    return (
+        DocumentBuilder("Figure 2 scenario")
+        .heading(1, "A simple multimedia scenario")
+        .text("This formatted text is shown throughout the presentation.")
+        .paragraph()
+        .image("imgsrv:/I1.gif", element_id="I1", startime=0.0, duration=t.d_i1,
+               note="first image")
+        .image("imgsrv:/I2.gif", element_id="I2", startime=t.t_i2,
+               duration=t.d_i2, note="second image")
+        .audio_video(
+            audio_source="audsrv:/A1.au", video_source="vidsrv:/V.mpg",
+            audio_id="A1", video_id="V", startime=t.t_a1, duration=t.d_v,
+            note="audio A1 synchronized with video V",
+        )
+        .audio("audsrv:/A2.au", element_id="A2", startime=t.t_a2,
+               duration=t.d_a2, note="closing audio")
+        .hyperlink("next-document", at_time=max(t.t_i2 + t.d_i2,
+                                                t.t_a2 + t.d_a2))
+        .build()
+    )
+
+
+def figure2_markup(times: Figure2Times | None = None) -> str:
+    """The Figure 2 scenario as markup text (serialized AST)."""
+    from repro.hml.serializer import serialize
+
+    return serialize(figure2_document(times))

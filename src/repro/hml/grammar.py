@@ -1,0 +1,103 @@
+"""The formal grammar (paper Figure 1) as a production table.
+
+The Figure 1 benchmark regenerates the BNF from this table; tests
+cross-check that every nonterminal referenced is defined and that the
+parser implements each production (structural consistency between
+the documented grammar and the code).
+"""
+
+from __future__ import annotations
+
+__all__ = ["GRAMMAR_PRODUCTIONS", "grammar_text", "nonterminals", "terminals"]
+
+#: (lhs, (alternatives...)) in the order of the paper's Figure 1.
+#: Nonterminals are written <LikeThis>; terminals are bare keywords.
+GRAMMAR_PRODUCTIONS: tuple[tuple[str, tuple[str, ...]], ...] = (
+    ("<Hdocument>", ("TITLE STRING END_TITLE <HSentence>",)),
+    ("<HSentence>", ("/* empty */", "<Headings> <Main> <Separator> <HSentence>")),
+    # <Next> appears in Figure 1 but is referenced by no other
+    # production (a dangling rule in the paper); kept for fidelity.
+    ("<Next>", ("/* empty */", "<HyperLink>")),
+    ("<Headings>", ("/* empty */", "<Heading1>", "<Heading2>", "<Heading3>")),
+    ("<Heading1>", ("H1 STRING END_H1",)),
+    ("<Heading2>", ("H2 STRING END_H2",)),
+    ("<Heading3>", ("H3 STRING END_H3",)),
+    ("<Main>", ("<Par> <Body>",)),
+    ("<Separator>", ("/* empty */", "SEPARATOR")),
+    ("<Par>", ("/* empty */", "PARAGRAPH")),
+    (
+        "<Body>",
+        (
+            "/* empty */",
+            "<Document> <Body>",
+            "<Image> <Body>",
+            "<Audio> <Body>",
+            "<Video> <Body>",
+            "<Audio_Video> <Body>",
+            "<HyperLink> <Body>",
+        ),
+    ),
+    ("<Document>", ("TEXT <Text> END_TEXT",)),
+    ("<Text>", ("/* empty */", "STRING <Text>")),
+    ("<Image>", ("IMG <ImgOptions> <Source> <Id> <Note> END_IMG",)),
+    ("<Audio>", ("AU <AuOptions> <Source> <Id> <Note> END_AU",)),
+    ("<Video>", ("VI <ViOptions> <Source> <Id> <Note> END_VI",)),
+    (
+        "<Audio_Video>",
+        ("AU_VI <Au_ViOptions> <Au_ViSource> <Au_Vi_Id> <Note> END_AU_VI",),
+    ),
+    (
+        "<HyperLink>",
+        (
+            "HLINK <to_HyperText> <Note> END_HLINK",
+            "HLINK <to_OtherHost> <Note> END_HLINK",
+        ),
+    ),
+    ("<ImgOptions>", ("<TimeOption>", "<TimeOption> <OtherImgOptions>")),
+    ("<AuOptions>", ("<TimeOption>", "<TimeOption> <OtherAuOptions>")),
+    ("<ViOptions>", ("<TimeOption>", "<TimeOption> <OtherViOptions>")),
+    ("<Au_ViOptions>", ("<SyncOption>", "<SyncOption> <OtherAu_ViOptions>")),
+    ("<TimeOption>", ("STARTIME STRING",)),
+    ("<SyncOption>", ("STARTIME STRING STARTIME STRING",)),
+    ("<OtherImgOptions>", ("HEIGHT STRING WIDTH STRING",)),
+    ("<OtherAuOptions>", ("/* empty for the time being ... */",)),
+    ("<OtherViOptions>", ("/* empty for the time being ... */",)),
+    ("<OtherAu_ViOptions>", ("/* empty for the time being ... */",)),
+    ("<Source>", ("SOURCE <Filename>",)),
+    ("<Au_ViSource>", ("SOURCE <Filename> SOURCE <Filename>",)),
+    ("<Id>", ("ID STRING",)),
+    ("<Au_Vi_Id>", ("ID STRING ID STRING",)),
+    ("<to_HyperText>", ("<Filename>",)),
+    ("<to_OtherHost>", ("STRING <HyperLink>",)),
+    ("<Note>", ("NOTE STRING",)),
+    ("<Filename>", ("STRING",)),
+)
+
+
+def nonterminals() -> set[str]:
+    return {lhs for lhs, _ in GRAMMAR_PRODUCTIONS}
+
+
+def terminals() -> set[str]:
+    """All terminal keywords appearing on right-hand sides."""
+    out: set[str] = set()
+    for _, alts in GRAMMAR_PRODUCTIONS:
+        for alt in alts:
+            if alt.startswith("/*"):
+                continue
+            for sym in alt.split():
+                if not sym.startswith("<"):
+                    out.add(sym)
+    return out
+
+
+def grammar_text() -> str:
+    """Render the production table as the BNF of Figure 1."""
+    lines: list[str] = []
+    width = max(len(lhs) for lhs, _ in GRAMMAR_PRODUCTIONS)
+    for lhs, alts in GRAMMAR_PRODUCTIONS:
+        first, *rest = alts
+        lines.append(f"{lhs:<{width}} ::= {first}")
+        for alt in rest:
+            lines.append(f"{'':<{width}}   | {alt}")
+    return "\n".join(lines)

@@ -1,0 +1,76 @@
+"""Tokenizer: markup text → tag/text token stream.
+
+HML's surface syntax (following the paper's examples) consists of
+``<KEYWORD>`` / ``</KEYWORD>`` tags with everything between them
+treated as raw text; media elements carry their attributes *inside*
+the body as ``KEY=value`` pairs (e.g.
+``<IMG> SOURCE=srv:/i1.gif ID=I1 STARTIME=0 </IMG>``), exactly as
+written in §3.1.
+"""
+
+from __future__ import annotations
+
+from repro.hml.tokens import ELEMENT_KEYWORDS, Token, TokenKind
+
+__all__ = ["tokenize", "HmlSyntaxError"]
+
+
+class HmlSyntaxError(ValueError):
+    """Lexical or syntactic error, with source position."""
+
+    def __init__(self, message: str, line: int, column: int) -> None:
+        super().__init__(f"line {line}, column {column}: {message}")
+        self.line = line
+        self.column = column
+
+
+def tokenize(text: str) -> list[Token]:
+    """Split markup into TAG_OPEN / TAG_CLOSE / TEXT tokens.
+
+    Raises :class:`HmlSyntaxError` on malformed tags (unterminated
+    ``<``, empty tag, unknown element keyword).
+    """
+    tokens: list[Token] = []
+    i = 0
+    line = 1
+    col = 1
+    n = len(text)
+
+    def advance_position(chunk: str) -> None:
+        nonlocal line, col
+        newlines = chunk.count("\n")
+        if newlines:
+            line += newlines
+            col = len(chunk) - chunk.rfind("\n")
+        else:
+            col += len(chunk)
+
+    while i < n:
+        lt = text.find("<", i)
+        if lt == -1:
+            run = text[i:]
+            if run.strip():
+                tokens.append(Token(TokenKind.TEXT, run, line, col))
+            break
+        if lt > i:
+            run = text[i:lt]
+            if run.strip():
+                tokens.append(Token(TokenKind.TEXT, run, line, col))
+            advance_position(run)
+        gt = text.find(">", lt)
+        if gt == -1:
+            raise HmlSyntaxError("unterminated tag", line, col)
+        inner = text[lt + 1 : gt].strip()
+        closing = inner.startswith("/")
+        name = inner[1:].strip() if closing else inner
+        if not name:
+            raise HmlSyntaxError("empty tag", line, col)
+        keyword = name.upper()
+        if keyword not in ELEMENT_KEYWORDS:
+            raise HmlSyntaxError(f"unknown element keyword {name!r}", line, col)
+        kind = TokenKind.TAG_CLOSE if closing else TokenKind.TAG_OPEN
+        tokens.append(Token(kind, keyword, line, col))
+        advance_position(text[lt : gt + 1])
+        i = gt + 1
+    tokens.append(Token(TokenKind.EOF, "", line, col))
+    return tokens

@@ -1,0 +1,350 @@
+"""Recursive-descent parser: token stream → :class:`HmlDocument`.
+
+Implements the productions of the paper's Figure 1 grammar (see
+:mod:`repro.hml.grammar` for the production table the benchmark
+regenerates). Media-element attributes are scanned from the element
+body as ``KEY=value`` pairs, per the paper's §3.1 examples.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.hml.ast import (
+    AudioElement,
+    AudioVideoElement,
+    Heading,
+    HmlDocument,
+    HmlElement,
+    HyperLink,
+    ImageElement,
+    LinkKind,
+    Paragraph,
+    Separator,
+    TextBlock,
+    TextSpan,
+    VideoElement,
+)
+from repro.hml.lexer import HmlSyntaxError, tokenize
+from repro.hml.tokens import ATTRIBUTE_KEYWORDS, Token, TokenKind
+
+__all__ = ["parse"]
+
+_ATTR_RE = re.compile(
+    r"""
+    (?:(?P<key>[A-Za-z_][A-Za-z_0-9]*)\s*=\s*)?   # optional KEY=
+    (?P<value>"[^"]*"|\([^)]*\)|[^\s"()]+)         # quoted | tuple | bare
+    """,
+    re.VERBOSE,
+)
+
+
+def _scan_attrs(body: str, line: int) -> list[tuple[str | None, str]]:
+    """Scan ``KEY=value`` pairs and bare words from an element body."""
+    out: list[tuple[str | None, str]] = []
+    pos = 0
+    body = body.strip()
+    while pos < len(body):
+        m = _ATTR_RE.match(body, pos)
+        if m is None:
+            raise HmlSyntaxError(f"malformed attribute near {body[pos:pos+20]!r}",
+                                 line, 0)
+        key = m.group("key")
+        value = m.group("value")
+        if value.startswith('"') and value.endswith('"'):
+            value = value[1:-1]
+        out.append((key.upper() if key else None, value))
+        pos = m.end()
+        while pos < len(body) and body[pos].isspace():
+            pos += 1
+    return out
+
+
+def _as_float(value: str, attr: str, line: int) -> float:
+    try:
+        return float(value)
+    except ValueError:
+        raise HmlSyntaxError(f"{attr} expects a number, got {value!r}", line, 0) from None
+
+
+def _as_int(value: str, attr: str, line: int) -> int:
+    try:
+        return int(value)
+    except ValueError:
+        raise HmlSyntaxError(f"{attr} expects an integer, got {value!r}", line, 0) from None
+
+
+def _as_coords(value: str, line: int) -> tuple[int, int]:
+    m = re.fullmatch(r"\(\s*(-?\d+)\s*,\s*(-?\d+)\s*\)", value)
+    if m is None:
+        raise HmlSyntaxError(f"WHERE expects (x,y), got {value!r}", line, 0)
+    return int(m.group(1)), int(m.group(2))
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token helpers ---------------------------------------------------
+    def peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def next(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.kind is not TokenKind.EOF:
+            self.pos += 1
+        return tok
+
+    def expect(self, kind: TokenKind, value: str | None = None) -> Token:
+        tok = self.next()
+        if tok.kind is not kind or (value is not None and tok.value != value):
+            want = f"{kind.value}" + (f" {value}" if value else "")
+            raise HmlSyntaxError(
+                f"expected {want}, got {tok.kind.value} {tok.value!r}",
+                tok.line, tok.column,
+            )
+        return tok
+
+    def _text_until_close(self, name: str) -> tuple[str, int]:
+        """Concatenate raw text until ``</name>``; returns (text, line)."""
+        parts: list[str] = []
+        open_line = self.peek().line
+        while True:
+            tok = self.next()
+            if tok.kind is TokenKind.EOF:
+                raise HmlSyntaxError(f"unterminated <{name}>", tok.line, tok.column)
+            if tok.kind is TokenKind.TAG_CLOSE and tok.value == name:
+                return " ".join(parts), open_line
+            if tok.kind is TokenKind.TEXT:
+                parts.append(tok.value.strip())
+            else:
+                raise HmlSyntaxError(
+                    f"unexpected <{tok.value}> inside <{name}>", tok.line, tok.column
+                )
+
+    # -- productions -----------------------------------------------------
+    def document(self) -> HmlDocument:
+        self.expect(TokenKind.TAG_OPEN, "TITLE")
+        title, _ = self._text_until_close("TITLE")
+        doc = HmlDocument(title=title)
+        while True:
+            tok = self.peek()
+            if tok.kind is TokenKind.EOF:
+                break
+            doc.elements.append(self.element())
+        return doc
+
+    def element(self) -> HmlElement:
+        tok = self.next()
+        if tok.kind is not TokenKind.TAG_OPEN:
+            raise HmlSyntaxError(
+                f"expected an element tag, got {tok.kind.value} {tok.value!r}",
+                tok.line, tok.column,
+            )
+        name = tok.value
+        if name in ("H1", "H2", "H3"):
+            text, _ = self._text_until_close(name)
+            return Heading(level=int(name[1]), text=text)
+        if name == "PAR":
+            return Paragraph()
+        if name == "SEP":
+            return Separator()
+        if name == "TEXT":
+            return self.text_block()
+        if name == "IMG":
+            return self.media_element(name, tok.line)
+        if name == "AU":
+            return self.media_element(name, tok.line)
+        if name == "VI":
+            return self.media_element(name, tok.line)
+        if name == "AU_VI":
+            return self.audio_video(tok.line)
+        if name == "HLINK":
+            return self.hyperlink(tok.line)
+        raise HmlSyntaxError(f"<{name}> is not valid here", tok.line, tok.column)
+
+    def text_block(self) -> TextBlock:
+        spans: list[TextSpan] = []
+        bold = italic = underline = False
+        while True:
+            tok = self.next()
+            if tok.kind is TokenKind.EOF:
+                raise HmlSyntaxError("unterminated <TEXT>", tok.line, tok.column)
+            if tok.kind is TokenKind.TAG_CLOSE and tok.value == "TEXT":
+                return TextBlock(spans=tuple(spans))
+            if tok.kind is TokenKind.TEXT:
+                spans.append(
+                    TextSpan(tok.value.strip(), bold=bold, italic=italic,
+                             underline=underline)
+                )
+            elif tok.kind is TokenKind.TAG_OPEN and tok.value in ("B", "I", "U"):
+                if (tok.value == "B" and bold) or (tok.value == "I" and italic) or (
+                    tok.value == "U" and underline
+                ):
+                    raise HmlSyntaxError(
+                        f"<{tok.value}> already open", tok.line, tok.column
+                    )
+                bold = bold or tok.value == "B"
+                italic = italic or tok.value == "I"
+                underline = underline or tok.value == "U"
+            elif tok.kind is TokenKind.TAG_CLOSE and tok.value in ("B", "I", "U"):
+                if (tok.value == "B" and not bold) or (
+                    tok.value == "I" and not italic
+                ) or (tok.value == "U" and not underline):
+                    raise HmlSyntaxError(
+                        f"</{tok.value}> without opening", tok.line, tok.column
+                    )
+                bold = bold and tok.value != "B"
+                italic = italic and tok.value != "I"
+                underline = underline and tok.value != "U"
+            else:
+                raise HmlSyntaxError(
+                    f"<{tok.value}> not allowed inside <TEXT>", tok.line, tok.column
+                )
+
+    def media_element(self, name: str, line: int) -> HmlElement:
+        body, _ = self._text_until_close(name)
+        attrs = _scan_attrs(body, line)
+        fields: dict[str, str] = {}
+        for key, value in attrs:
+            if key is None:
+                raise HmlSyntaxError(
+                    f"bare token {value!r} in <{name}> body", line, 0
+                )
+            if key not in ATTRIBUTE_KEYWORDS:
+                raise HmlSyntaxError(f"unknown attribute {key} in <{name}>", line, 0)
+            if key in fields:
+                raise HmlSyntaxError(f"duplicate attribute {key} in <{name}>", line, 0)
+            fields[key] = value
+        if "SOURCE" not in fields:
+            raise HmlSyntaxError(f"<{name}> requires SOURCE", line, 0)
+        if "ID" not in fields:
+            raise HmlSyntaxError(f"<{name}> requires ID", line, 0)
+        startime = _as_float(fields.get("STARTIME", "0"), "STARTIME", line)
+        duration = (
+            _as_float(fields["DURATION"], "DURATION", line)
+            if "DURATION" in fields
+            else None
+        )
+        note = fields.get("NOTE", "")
+        repeat = _as_int(fields.get("REPEAT", "1"), "REPEAT", line)
+        if repeat < 1:
+            raise HmlSyntaxError(f"REPEAT must be >= 1, got {repeat}", line, 0)
+        if name == "IMG":
+            return ImageElement(
+                source=fields["SOURCE"],
+                element_id=fields["ID"],
+                startime=startime,
+                duration=duration,
+                width=_as_int(fields["WIDTH"], "WIDTH", line)
+                if "WIDTH" in fields else None,
+                height=_as_int(fields["HEIGHT"], "HEIGHT", line)
+                if "HEIGHT" in fields else None,
+                where=_as_coords(fields["WHERE"], line)
+                if "WHERE" in fields else None,
+                note=note,
+                repeat=repeat,
+            )
+        if name == "AU":
+            return AudioElement(
+                source=fields["SOURCE"], element_id=fields["ID"],
+                startime=startime, duration=duration, note=note,
+                repeat=repeat,
+            )
+        return VideoElement(
+            source=fields["SOURCE"], element_id=fields["ID"],
+            startime=startime, duration=duration, note=note,
+            repeat=repeat,
+        )
+
+    def audio_video(self, line: int) -> AudioVideoElement:
+        body, _ = self._text_until_close("AU_VI")
+        attrs = _scan_attrs(body, line)
+        sources: list[str] = []
+        ids: list[str] = []
+        startimes: list[float] = []
+        duration: float | None = None
+        note = ""
+        for key, value in attrs:
+            if key == "SOURCE":
+                sources.append(value)
+            elif key == "ID":
+                ids.append(value)
+            elif key == "STARTIME":
+                startimes.append(_as_float(value, "STARTIME", line))
+            elif key == "DURATION":
+                duration = _as_float(value, "DURATION", line)
+            elif key == "NOTE":
+                note = value
+            else:
+                raise HmlSyntaxError(
+                    f"unexpected {key or value!r} in <AU_VI>", line, 0
+                )
+        if len(sources) != 2 or len(ids) != 2:
+            raise HmlSyntaxError(
+                "<AU_VI> requires two SOURCE and two ID attributes "
+                "(audio first, then video)", line, 0,
+            )
+        if not startimes:
+            startimes = [0.0]
+        if len(startimes) == 1:
+            startimes = startimes * 2
+        if len(startimes) > 2:
+            raise HmlSyntaxError("<AU_VI> takes at most two STARTIMEs", line, 0)
+        return AudioVideoElement(
+            audio_source=sources[0], video_source=sources[1],
+            audio_id=ids[0], video_id=ids[1],
+            audio_startime=startimes[0], video_startime=startimes[1],
+            duration=duration, note=note,
+        )
+
+    def hyperlink(self, line: int) -> HyperLink:
+        body, _ = self._text_until_close("HLINK")
+        attrs = _scan_attrs(body, line)
+        target: str | None = None
+        at_time: float | None = None
+        note = ""
+        kind = LinkKind.EXPLORATIONAL
+        i = 0
+        while i < len(attrs):
+            key, value = attrs[i]
+            if key is None and value.upper() == "AT":
+                if i + 1 >= len(attrs) or attrs[i + 1][0] is not None:
+                    raise HmlSyntaxError("AT requires a time value", line, 0)
+                at_time = _as_float(attrs[i + 1][1], "AT", line)
+                i += 2
+                continue
+            if key is None:
+                if target is not None:
+                    raise HmlSyntaxError(
+                        f"multiple link targets: {target!r}, {value!r}", line, 0
+                    )
+                target = value
+            elif key == "NOTE":
+                note = value
+            elif key == "KIND":
+                try:
+                    kind = LinkKind(value.lower())
+                except ValueError:
+                    raise HmlSyntaxError(
+                        f"KIND must be sequential or explorational, got {value!r}",
+                        line, 0,
+                    ) from None
+            elif key == "AT":
+                at_time = _as_float(value, "AT", line)
+            else:
+                raise HmlSyntaxError(f"unexpected {key} in <HLINK>", line, 0)
+            i += 1
+        if target is None:
+            raise HmlSyntaxError("<HLINK> requires a target document", line, 0)
+        # Timed links preserve the author's sequence: mark sequential
+        # unless explicitly overridden.
+        if at_time is not None and not any(k == "KIND" for k, _ in attrs):
+            kind = LinkKind.SEQUENTIAL
+        return HyperLink(target=target, kind=kind, at_time=at_time, note=note)
+
+
+def parse(text: str) -> HmlDocument:
+    """Parse HML markup into a document AST."""
+    return _Parser(tokenize(text)).document()

@@ -1,0 +1,123 @@
+"""AST → markup text (the inverse of :func:`repro.hml.parse`).
+
+``parse(serialize(doc)) == doc`` for every valid document — the
+round-trip property the test suite checks with hypothesis. This is
+what the servers use to ship presentation scenarios over the wire as
+text files (§3: "the representation of a document by the markup
+language is actually a text file").
+"""
+
+from __future__ import annotations
+
+from repro.hml.ast import (
+    AudioElement,
+    AudioVideoElement,
+    Heading,
+    HmlDocument,
+    HmlElement,
+    HyperLink,
+    ImageElement,
+    LinkKind,
+    Paragraph,
+    Separator,
+    TextBlock,
+    VideoElement,
+)
+
+__all__ = ["serialize"]
+
+
+def _fmt_num(x: float) -> str:
+    return f"{x:g}"
+
+
+def _quote(s: str) -> str:
+    return f'"{s}"'
+
+
+def _time_attrs(startime: float, duration: float | None) -> str:
+    out = f"STARTIME={_fmt_num(startime)}"
+    if duration is not None:
+        out += f" DURATION={_fmt_num(duration)}"
+    return out
+
+
+def _note(note: str) -> str:
+    return f" NOTE={_quote(note)}" if note else ""
+
+
+def _serialize_element(e: HmlElement) -> str:
+    if isinstance(e, Heading):
+        return f"<H{e.level}> {e.text} </H{e.level}>"
+    if isinstance(e, Paragraph):
+        return "<PAR>"
+    if isinstance(e, Separator):
+        return "<SEP>"
+    if isinstance(e, TextBlock):
+        parts = ["<TEXT>"]
+        for span in e.spans:
+            opens = "".join(
+                f"<{t}> "
+                for t, on in (("B", span.bold), ("I", span.italic),
+                              ("U", span.underline))
+                if on
+            )
+            closes = "".join(
+                f" </{t}>"
+                for t, on in (("U", span.underline), ("I", span.italic),
+                              ("B", span.bold))
+                if on
+            )
+            parts.append(f"{opens}{span.text}{closes}")
+        parts.append("</TEXT>")
+        return " ".join(parts)
+    if isinstance(e, ImageElement):
+        extra = ""
+        if e.height is not None:
+            extra += f" HEIGHT={e.height}"
+        if e.width is not None:
+            extra += f" WIDTH={e.width}"
+        if e.where is not None:
+            extra += f" WHERE=({e.where[0]},{e.where[1]})"
+        if e.repeat != 1:
+            extra += f" REPEAT={e.repeat}"
+        return (
+            f"<IMG> {_time_attrs(e.startime, e.duration)}{extra} "
+            f"SOURCE={e.source} ID={e.element_id}{_note(e.note)} </IMG>"
+        )
+    if isinstance(e, AudioElement):
+        rep = f" REPEAT={e.repeat}" if e.repeat != 1 else ""
+        return (
+            f"<AU> {_time_attrs(e.startime, e.duration)}{rep} "
+            f"SOURCE={e.source} ID={e.element_id}{_note(e.note)} </AU>"
+        )
+    if isinstance(e, VideoElement):
+        rep = f" REPEAT={e.repeat}" if e.repeat != 1 else ""
+        return (
+            f"<VI> {_time_attrs(e.startime, e.duration)}{rep} "
+            f"SOURCE={e.source} ID={e.element_id}{_note(e.note)} </VI>"
+        )
+    if isinstance(e, AudioVideoElement):
+        dur = f" DURATION={_fmt_num(e.duration)}" if e.duration is not None else ""
+        return (
+            f"<AU_VI> STARTIME={_fmt_num(e.audio_startime)} "
+            f"STARTIME={_fmt_num(e.video_startime)}{dur} "
+            f"SOURCE={e.audio_source} SOURCE={e.video_source} "
+            f"ID={e.audio_id} ID={e.video_id}{_note(e.note)} </AU_VI>"
+        )
+    if isinstance(e, HyperLink):
+        at = f"AT {_fmt_num(e.at_time)} " if e.at_time is not None else ""
+        # KIND is serialized explicitly whenever it differs from what the
+        # parser would infer (timed links default to sequential).
+        inferred = LinkKind.SEQUENTIAL if e.at_time is not None \
+            else LinkKind.EXPLORATIONAL
+        kind = f" KIND={e.kind.value}" if e.kind is not inferred else ""
+        return f"<HLINK> {at}{e.target}{kind}{_note(e.note)} </HLINK>"
+    raise TypeError(f"cannot serialize {type(e).__name__}")
+
+
+def serialize(doc: HmlDocument) -> str:
+    """Render a document AST as canonical HML markup."""
+    lines = [f"<TITLE> {doc.title} </TITLE>"]
+    lines.extend(_serialize_element(e) for e in doc.elements)
+    return "\n".join(lines) + "\n"

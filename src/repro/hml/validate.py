@@ -1,0 +1,139 @@
+"""Semantic validation of parsed documents.
+
+Checks the constraints the grammar cannot express:
+
+* component ids are unique within a document ("each component of a
+  hypermedia object has a unique identification number", §3.1);
+* times are sane (start >= 0, duration > 0, AT times >= 0);
+* synchronized AU_VI pairs start together ("the two media should
+  start and stop playing at the same time");
+* sources are non-empty;
+* at most one timed (AT) hyperlink — the scenario has one author's
+  sequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hml.ast import (
+    AudioElement,
+    AudioVideoElement,
+    HmlDocument,
+    HyperLink,
+    ImageElement,
+    VideoElement,
+)
+
+__all__ = ["ValidationIssue", "validate_document"]
+
+
+@dataclass(frozen=True, slots=True)
+class ValidationIssue:
+    severity: str  # "error" | "warning"
+    code: str
+    message: str
+
+    @property
+    def is_error(self) -> bool:
+        return self.severity == "error"
+
+
+def validate_document(doc: HmlDocument) -> list[ValidationIssue]:
+    """Return all issues found (empty list = valid)."""
+    issues: list[ValidationIssue] = []
+
+    def error(code: str, message: str) -> None:
+        issues.append(ValidationIssue("error", code, message))
+
+    def warning(code: str, message: str) -> None:
+        issues.append(ValidationIssue("warning", code, message))
+
+    if not doc.title.strip():
+        error("empty-title", "document title is empty")
+
+    seen_ids: set[str] = set()
+    for eid in doc.element_ids():
+        if eid in seen_ids:
+            error("duplicate-id", f"component id {eid!r} is not unique")
+        seen_ids.add(eid)
+
+    for e in doc.media_elements():
+        if isinstance(e, AudioVideoElement):
+            ids = f"{e.audio_id}/{e.video_id}"
+            if e.audio_startime != e.video_startime:
+                error(
+                    "avsync-startime",
+                    f"AU_VI {ids}: audio and video start times differ "
+                    f"({e.audio_startime} vs {e.video_startime}); synchronized "
+                    "media must start together",
+                )
+            if e.audio_startime < 0:
+                error("negative-startime", f"AU_VI {ids}: negative start time")
+            if e.duration is not None and e.duration <= 0:
+                error("bad-duration", f"AU_VI {ids}: duration must be positive")
+            if not e.audio_source or not e.video_source:
+                error("empty-source", f"AU_VI {ids}: empty source")
+            if e.audio_id == e.video_id:
+                error("duplicate-id", f"AU_VI uses the same id {e.audio_id!r} twice")
+        else:
+            assert isinstance(e, (ImageElement, AudioElement, VideoElement))
+            eid = e.element_id
+            if e.startime < 0:
+                error("negative-startime", f"{eid}: negative start time")
+            if e.duration is not None and e.duration <= 0:
+                error("bad-duration", f"{eid}: duration must be positive")
+            if not e.source:
+                error("empty-source", f"{eid}: empty source")
+            if isinstance(e, (AudioElement, VideoElement)) and e.duration is None:
+                warning(
+                    "open-duration",
+                    f"{eid}: continuous media without DURATION plays to its "
+                    "natural end; scenario length becomes data-dependent",
+                )
+            if e.repeat < 1:
+                error("bad-repeat", f"{eid}: REPEAT must be >= 1")
+            elif e.repeat > 1 and e.duration is None:
+                error(
+                    "repeat-without-duration",
+                    f"{eid}: REPEAT needs a DURATION (the loop length)",
+                )
+
+    timed_links = [l for l in doc.hyperlinks() if l.at_time is not None]
+    for link in doc.hyperlinks():
+        if not link.target.strip():
+            error("empty-link-target", "hyperlink with empty target")
+        if link.at_time is not None and link.at_time < 0:
+            error("negative-at", f"hyperlink to {link.target!r}: negative AT time")
+    if len(timed_links) > 1:
+        error(
+            "multiple-timed-links",
+            "more than one AT-timed hyperlink; the author's sequence must be "
+            "unambiguous",
+        )
+    scenario_end = _scenario_end(doc)
+    for link in timed_links:
+        if link.at_time is not None and scenario_end is not None \
+                and link.at_time < scenario_end:
+            warning(
+                "early-timed-link",
+                f"timed link to {link.target!r} fires at {link.at_time:g}s, "
+                f"before the last media ends at {scenario_end:g}s",
+            )
+    return issues
+
+
+def _scenario_end(doc: HmlDocument) -> float | None:
+    """Latest media end time, if every element has a known duration."""
+    ends: list[float] = []
+    for e in doc.media_elements():
+        if isinstance(e, AudioVideoElement):
+            if e.duration is None:
+                return None
+            ends.append(e.audio_startime + e.duration)
+        else:
+            if e.duration is None:  # type: ignore[union-attr]
+                return None
+            repeat = max(1, getattr(e, "repeat", 1))
+            ends.append(e.startime + e.duration * repeat)  # type: ignore[union-attr]
+    return max(ends) if ends else None

@@ -1,0 +1,57 @@
+"""Media substrate: types, codecs with quality-grade ladders, and
+synthetic frame-accurate traces.
+
+The 1996 service streamed real MPEG/AVI video and PCM/ADPCM/VADPCM
+audio; offline we substitute statistically faithful synthetic traces
+(documented in DESIGN.md). Grading, buffering and synchronization all
+operate on frame sizes, rates and timestamps — exactly what these
+traces provide.
+"""
+
+from repro.media.types import (
+    ContinuousMediaObject,
+    DiscreteMediaObject,
+    Frame,
+    FrameKind,
+    MediaObject,
+    MediaType,
+)
+from repro.media.encodings import (
+    AUDIO_LADDER,
+    IMAGE_ENCODINGS,
+    SUSPENDED,
+    VIDEO_LADDER,
+    Codec,
+    CodecRegistry,
+    QualityGrade,
+    default_registry,
+)
+from repro.media.traces import (
+    AudioTraceGenerator,
+    MediaTrace,
+    VideoTraceGenerator,
+    trace_for_object,
+)
+from repro.media.store import MediaStore
+
+__all__ = [
+    "AUDIO_LADDER",
+    "AudioTraceGenerator",
+    "Codec",
+    "CodecRegistry",
+    "ContinuousMediaObject",
+    "DiscreteMediaObject",
+    "Frame",
+    "FrameKind",
+    "IMAGE_ENCODINGS",
+    "MediaObject",
+    "MediaStore",
+    "MediaTrace",
+    "MediaType",
+    "QualityGrade",
+    "SUSPENDED",
+    "VIDEO_LADDER",
+    "VideoTraceGenerator",
+    "default_registry",
+    "trace_for_object",
+]

@@ -1,0 +1,112 @@
+"""Interconnection abstraction: the web of linked documents.
+
+Sequential links form the author's intended reading order; exploration
+links branch sideways. The web is a directed multigraph over document
+names (optionally qualified by host for cross-server links), used by
+the service layer for navigation and by Hermes for lesson sequencing.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.hml.ast import HmlDocument, HyperLink, LinkKind
+
+__all__ = ["DocumentWeb"]
+
+
+class DocumentWeb:
+    """Directed graph of documents connected by hyperlinks."""
+
+    def __init__(self) -> None:
+        self.graph = nx.MultiDiGraph()
+
+    # -- construction -----------------------------------------------------
+    def add_document(self, name: str, doc: HmlDocument,
+                     host: str = "") -> None:
+        """Register a document and its outgoing links.
+
+        ``name`` is the document's own name; link targets of the form
+        "host:doc" point across servers, bare targets stay on
+        ``host``.
+        """
+        key = self._key(host, name)
+        if key in self.graph and self.graph.nodes[key].get("resolved"):
+            raise ValueError(f"document {key!r} already added")
+        self.graph.add_node(key, title=doc.title, host=host, resolved=True)
+        for link in doc.hyperlinks():
+            target_host = link.target_host if link.target_host is not None else host
+            target_key = self._key(target_host, link.target_document)
+            if target_key not in self.graph:
+                self.graph.add_node(target_key, host=target_host,
+                                    resolved=False)
+            self.graph.add_edge(
+                key, target_key,
+                kind=link.kind, at_time=link.at_time, note=link.note,
+            )
+
+    @staticmethod
+    def _key(host: str, name: str) -> str:
+        return f"{host}:{name}" if host else name
+
+    # -- queries -------------------------------------------------------------
+    def __contains__(self, key: str) -> bool:
+        return key in self.graph
+
+    def documents(self) -> list[str]:
+        return sorted(self.graph.nodes)
+
+    def dangling(self) -> list[str]:
+        """Link targets that were never added as documents."""
+        return sorted(
+            n for n, data in self.graph.nodes(data=True)
+            if not data.get("resolved")
+        )
+
+    def links_from(self, key: str,
+                   kind: LinkKind | None = None) -> list[tuple[str, dict]]:
+        out = []
+        for _, dst, data in self.graph.out_edges(key, data=True):
+            if kind is None or data["kind"] is kind:
+                out.append((dst, data))
+        return out
+
+    def sequential_successor(self, key: str) -> str | None:
+        """The unique sequential next document, if any.
+
+        Prefers a timed (AT) link — the author's automatic
+        progression — over untimed sequential links.
+        """
+        seq = self.links_from(key, kind=LinkKind.SEQUENTIAL)
+        if not seq:
+            return None
+        timed = [(d, l) for d, l in seq if l.get("at_time") is not None]
+        chosen = timed[0] if timed else seq[0]
+        return chosen[0]
+
+    def sequential_path(self, start: str, limit: int = 100) -> list[str]:
+        """Follow sequential links from ``start`` (cycle-safe)."""
+        path = [start]
+        seen = {start}
+        current = start
+        while len(path) < limit:
+            nxt = self.sequential_successor(current)
+            if nxt is None or nxt in seen:
+                break
+            path.append(nxt)
+            seen.add(nxt)
+            current = nxt
+        return path
+
+    def reachable(self, start: str) -> set[str]:
+        if start not in self.graph:
+            raise KeyError(f"unknown document {start!r}")
+        return set(nx.descendants(self.graph, start)) | {start}
+
+    def cross_server_links(self) -> list[tuple[str, str]]:
+        """Edges whose endpoints live on different hosts."""
+        out = []
+        for src, dst in self.graph.edges():
+            if self.graph.nodes[src].get("host") != self.graph.nodes[dst].get("host"):
+                out.append((src, dst))
+        return sorted(set(out))

@@ -1,0 +1,34 @@
+"""Discrete-event broadband network substrate.
+
+Store-and-forward simulation of the 1996 testbed the paper assumed:
+nodes joined by finite-rate links with drop-tail queues, shortest-path
+routing over a :mod:`networkx` topology, cross-traffic sources that
+create congestion epochs, and optional Gilbert–Elliott random loss.
+On top sit two endpoint transports matching the paper's protocol
+stack (Figure 5): an unreliable datagram service (UDP-like, used by
+RTP) and a reliable in-order byte service (TCP-like, used for
+scenarios, text and images) built as a go-back-N ARQ.
+"""
+
+from repro.net.packet import Packet, PacketTap, TapRecord
+from repro.net.link import Link, LinkStats
+from repro.net.topology import Network, Node
+from repro.net.impairments import GilbertElliottLoss
+from repro.net.channel import DatagramSocket, ReliableSender, ReliableReceiver
+from repro.net.traffic import OnOffTrafficSource, PoissonTrafficSource
+
+__all__ = [
+    "DatagramSocket",
+    "GilbertElliottLoss",
+    "Link",
+    "LinkStats",
+    "Network",
+    "Node",
+    "OnOffTrafficSource",
+    "Packet",
+    "PacketTap",
+    "PoissonTrafficSource",
+    "ReliableReceiver",
+    "ReliableSender",
+    "TapRecord",
+]

@@ -1,0 +1,301 @@
+"""Endpoint transports over the simulated network.
+
+* :class:`DatagramSocket` — UDP-like: unordered, unreliable, no
+  flow control. RTP rides on this (paper Figure 5).
+* :class:`ReliableSender` / :class:`ReliableReceiver` — TCP-like:
+  a go-back-N ARQ giving loss-free in-order *message* delivery; the
+  presentation scenario, text and images use this path. Full TCP
+  congestion control is out of scope (the paper treats TCP as a given
+  black box); go-back-N reproduces the properties the service layer
+  observes: reliability, ordering, and loss-induced extra latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.des import Event, Simulator
+from repro.net.packet import Packet
+from repro.net.topology import Network
+
+__all__ = ["DatagramSocket", "ReliableSender", "ReliableReceiver"]
+
+ACK_SIZE_BYTES = 40
+DEFAULT_MSS = 1460
+
+
+class DatagramSocket:
+    """Unreliable datagram endpoint bound to (node, port)."""
+
+    def __init__(
+        self,
+        network: Network,
+        node_id: str,
+        port: int,
+        on_packet: Callable[[Packet], None] | None = None,
+    ) -> None:
+        self.network = network
+        self.node_id = node_id
+        self.port = port
+        self.on_packet = on_packet
+        network.node(node_id).bind(port, self._receive)
+        self.tx_packets = 0
+        self.rx_packets = 0
+
+    def _receive(self, pkt: Packet) -> None:
+        self.rx_packets += 1
+        if self.on_packet is not None:
+            self.on_packet(pkt)
+
+    def sendto(
+        self,
+        dst: str,
+        dst_port: int,
+        size_bytes: int,
+        payload: Any = None,
+        protocol: str = "UDP",
+        flow_id: str = "",
+        seq: int = 0,
+    ) -> bool:
+        pkt = Packet(
+            src=self.node_id,
+            dst=dst,
+            size_bytes=size_bytes,
+            protocol=protocol,
+            flow_id=flow_id or f"udp:{self.node_id}:{self.port}",
+            dst_port=dst_port,
+            payload=payload,
+            seq=seq,
+        )
+        self.tx_packets += 1
+        return self.network.send(pkt)
+
+    def close(self) -> None:
+        self.network.node(self.node_id).unbind(self.port)
+
+
+@dataclass(slots=True)
+class _Segment:
+    seq: int
+    size_bytes: int
+    msg_id: int
+    last_of_msg: bool
+    payload: Any
+
+
+@dataclass(slots=True)
+class _PendingMessage:
+    msg_id: int
+    last_seq: int
+    done: Event
+    meta: Any = None
+
+
+class ReliableSender:
+    """Go-back-N sender; one instance per (connection, direction)."""
+
+    def __init__(
+        self,
+        network: Network,
+        node_id: str,
+        port: int,
+        dst: str,
+        dst_port: int,
+        flow_id: str,
+        protocol: str = "TCP",
+        mss: int = DEFAULT_MSS,
+        window: int = 32,
+        rto_s: float = 0.2,
+        max_rto_s: float = 5.0,
+    ) -> None:
+        self.sim: Simulator = network.sim
+        self.network = network
+        self.node_id = node_id
+        self.port = port
+        self.dst = dst
+        self.dst_port = dst_port
+        self.flow_id = flow_id
+        self.protocol = protocol
+        self.mss = mss
+        self.window = window
+        self.base_rto_s = rto_s
+        self.rto_s = rto_s
+        self.max_rto_s = max_rto_s
+
+        self._segments: list[_Segment] = []
+        self._base = 0  # oldest unacked seq
+        self._next = 0  # next never-sent seq
+        self._msgs: list[_PendingMessage] = []
+        self._msg_counter = 0
+        self._timer_token = 0
+        self.retransmissions = 0
+        self._closed = False
+        network.node(node_id).bind(port, self._on_ack)
+
+    # -- public API -----------------------------------------------------
+    def send_message(self, size_bytes: int, payload: Any = None) -> Event:
+        """Queue a message; the returned event triggers when fully acked."""
+        if self._closed:
+            raise RuntimeError("sender is closed")
+        if size_bytes <= 0:
+            raise ValueError(f"message size must be positive, got {size_bytes}")
+        n_segs = (size_bytes + self.mss - 1) // self.mss
+        self._msg_counter += 1
+        msg_id = self._msg_counter
+        first_seq = len(self._segments)
+        remaining = size_bytes
+        for i in range(n_segs):
+            seg_size = min(self.mss, remaining)
+            remaining -= seg_size
+            self._segments.append(
+                _Segment(
+                    seq=first_seq + i,
+                    size_bytes=seg_size,
+                    msg_id=msg_id,
+                    last_of_msg=(i == n_segs - 1),
+                    payload=payload if i == n_segs - 1 else None,
+                )
+            )
+        done = self.sim.event()
+        self._msgs.append(
+            _PendingMessage(msg_id=msg_id, last_seq=first_seq + n_segs - 1, done=done)
+        )
+        self._pump()
+        return done
+
+    @property
+    def in_flight(self) -> int:
+        return self._next - self._base
+
+    @property
+    def backlog_segments(self) -> int:
+        return len(self._segments) - self._base
+
+    def close(self) -> None:
+        self._closed = True
+        self._timer_token += 1
+        self.network.node(self.node_id).unbind(self.port)
+
+    # -- internals --------------------------------------------------------
+    def _transmit(self, seg: _Segment) -> None:
+        pkt = Packet(
+            src=self.node_id,
+            dst=self.dst,
+            size_bytes=seg.size_bytes + 40,  # TCP/IP header overhead
+            protocol=self.protocol,
+            flow_id=self.flow_id,
+            dst_port=self.dst_port,
+            payload={
+                "msg_id": seg.msg_id,
+                "last_of_msg": seg.last_of_msg,
+                "reply_to": (self.node_id, self.port),
+                "data": seg.payload,
+            },
+            seq=seg.seq,
+        )
+        self.network.send(pkt)
+
+    def _pump(self) -> None:
+        while (
+            self._next < len(self._segments)
+            and self._next < self._base + self.window
+        ):
+            self._transmit(self._segments[self._next])
+            self._next += 1
+        if self._base < self._next:
+            self._arm_timer()
+
+    def _arm_timer(self) -> None:
+        self._timer_token += 1
+        token = self._timer_token
+        self.sim.call_later(self.rto_s, lambda: self._on_timer(token))
+
+    def _on_timer(self, token: int) -> None:
+        if token != self._timer_token or self._closed:
+            return
+        if self._base >= self._next:
+            return
+        # Go-back-N: resend the whole outstanding window with backoff.
+        self.rto_s = min(self.rto_s * 2.0, self.max_rto_s)
+        for seq in range(self._base, self._next):
+            self.retransmissions += 1
+            self._transmit(self._segments[seq])
+        self._arm_timer()
+
+    def _on_ack(self, pkt: Packet) -> None:
+        if self._closed:
+            return
+        ack = pkt.payload.get("ack", -1) if isinstance(pkt.payload, dict) else -1
+        if ack < self._base:
+            return
+        self._base = ack + 1
+        self.rto_s = self.base_rto_s
+        # Complete any messages whose last segment is now acked.
+        while self._msgs and self._msgs[0].last_seq < self._base:
+            self._msgs.pop(0).done.succeed(self.sim.now)
+        if self._base < self._next:
+            self._arm_timer()
+        else:
+            self._timer_token += 1  # cancel timer
+        self._pump()
+
+
+class ReliableReceiver:
+    """Go-back-N receiver with message reassembly.
+
+    ``on_message(payload, size_bytes, flow_id)`` fires once per
+    complete message, in order. Handles any number of concurrent
+    sender flows by keying state on ``flow_id``.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        node_id: str,
+        port: int,
+        on_message: Callable[[Any, int, str], None] | None = None,
+    ) -> None:
+        self.sim = network.sim
+        self.network = network
+        self.node_id = node_id
+        self.port = port
+        self.on_message = on_message
+        self._rcv_next: dict[str, int] = {}
+        self._msg_bytes: dict[str, int] = {}
+        self.messages_received = 0
+        network.node(node_id).bind(port, self._on_data)
+
+    def close(self) -> None:
+        self.network.node(self.node_id).unbind(self.port)
+
+    def _on_data(self, pkt: Packet) -> None:
+        flow = pkt.flow_id
+        expected = self._rcv_next.get(flow, 0)
+        payload = pkt.payload if isinstance(pkt.payload, dict) else {}
+        reply_node, reply_port = payload.get("reply_to", (None, None))
+        if pkt.seq == expected:
+            self._rcv_next[flow] = expected + 1
+            self._msg_bytes[flow] = self._msg_bytes.get(flow, 0) + (pkt.size_bytes - 40)
+            if payload.get("last_of_msg"):
+                size = self._msg_bytes.pop(flow, 0)
+                self.messages_received += 1
+                if self.on_message is not None:
+                    self.on_message(payload.get("data"), size, flow)
+            ack = expected
+        else:
+            ack = self._rcv_next.get(flow, 0) - 1
+        if reply_node is None or ack < 0:
+            return
+        self.network.send(
+            Packet(
+                src=self.node_id,
+                dst=reply_node,
+                size_bytes=ACK_SIZE_BYTES,
+                protocol="TCP",
+                flow_id=flow,
+                dst_port=reply_port,
+                payload={"ack": ack},
+                seq=ack,
+            )
+        )

@@ -1,0 +1,82 @@
+"""Stochastic impairment models.
+
+:class:`GilbertElliottLoss` is the classic two-state Markov loss
+process (good/bad states with state-dependent loss probabilities),
+used to model bursty random loss beyond what drop-tail queues
+produce.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["GilbertElliottLoss"]
+
+
+class GilbertElliottLoss:
+    """Two-state Markov (Gilbert–Elliott) packet loss model.
+
+    Parameters
+    ----------
+    p_gb, p_bg:
+        Per-packet transition probabilities good→bad and bad→good.
+    loss_good, loss_bad:
+        Loss probability while in each state.
+
+    With defaults the stationary loss rate is
+    ``pi_b * loss_bad + pi_g * loss_good`` where
+    ``pi_b = p_gb / (p_gb + p_bg)``.
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        p_gb: float = 0.01,
+        p_bg: float = 0.3,
+        loss_good: float = 0.0,
+        loss_bad: float = 0.3,
+    ) -> None:
+        for name, v in (
+            ("p_gb", p_gb),
+            ("p_bg", p_bg),
+            ("loss_good", loss_good),
+            ("loss_bad", loss_bad),
+        ):
+            if not (0.0 <= v <= 1.0):
+                raise ValueError(f"{name} must be a probability, got {v}")
+        self.rng = rng
+        self.p_gb = p_gb
+        self.p_bg = p_bg
+        self.loss_good = loss_good
+        self.loss_bad = loss_bad
+        self.in_bad = False
+        self.decisions = 0
+        self.losses = 0
+
+    @property
+    def stationary_loss_rate(self) -> float:
+        denom = self.p_gb + self.p_bg
+        if denom == 0:
+            pi_b = 1.0 if self.in_bad else 0.0
+        else:
+            pi_b = self.p_gb / denom
+        return pi_b * self.loss_bad + (1.0 - pi_b) * self.loss_good
+
+    def is_lost(self) -> bool:
+        """Advance the chain one packet and decide its fate."""
+        if self.in_bad:
+            if self.rng.random() < self.p_bg:
+                self.in_bad = False
+        else:
+            if self.rng.random() < self.p_gb:
+                self.in_bad = True
+        p = self.loss_bad if self.in_bad else self.loss_good
+        self.decisions += 1
+        lost = bool(self.rng.random() < p)
+        if lost:
+            self.losses += 1
+        return lost
+
+    @property
+    def observed_loss_rate(self) -> float:
+        return 0.0 if self.decisions == 0 else self.losses / self.decisions

@@ -1,0 +1,116 @@
+"""Point-to-point links: finite rate, propagation delay, drop-tail queue.
+
+Queueing delay and overflow loss — the "network's load conditions and
+probabilistic behavior" the paper's buffering layer exists to absorb —
+emerge here rather than being injected as closed-form noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+from repro.des import QueueFullError, Simulator, Store
+from repro.net.packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.impairments import GilbertElliottLoss
+
+__all__ = ["Link", "LinkStats"]
+
+
+@dataclass(slots=True)
+class LinkStats:
+    """Counters a link maintains for experiment reporting."""
+
+    tx_packets: int = 0
+    tx_bytes: int = 0
+    queue_drops: int = 0
+    loss_drops: int = 0
+    busy_time: float = 0.0
+    occupancy_samples: list[tuple[float, int]] = field(default_factory=list)
+
+    def utilisation(self, elapsed: float) -> float:
+        return 0.0 if elapsed <= 0 else self.busy_time / elapsed
+
+
+class Link:
+    """Unidirectional link ``src -> dst``.
+
+    One transmitter process drains the drop-tail queue at
+    ``rate_bps``; after serialisation each packet propagates for
+    ``delay_s`` and is then handed to ``on_arrival`` (wired by the
+    :class:`~repro.net.topology.Network` to the next hop). Random
+    loss (e.g. a noisy last-mile) is modelled by an optional
+    Gilbert–Elliott process applied after propagation.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        src: str,
+        dst: str,
+        rate_bps: float,
+        delay_s: float,
+        queue_packets: int = 100,
+        loss_model: "GilbertElliottLoss | None" = None,
+    ) -> None:
+        if rate_bps <= 0:
+            raise ValueError(f"rate_bps must be positive, got {rate_bps}")
+        if delay_s < 0:
+            raise ValueError(f"delay_s must be >= 0, got {delay_s}")
+        self.sim = sim
+        self.src = src
+        self.dst = dst
+        self.rate_bps = float(rate_bps)
+        self.delay_s = float(delay_s)
+        self.queue: Store = Store(sim, capacity=queue_packets)
+        self.loss_model = loss_model
+        self.stats = LinkStats()
+        self.on_arrival: Callable[[Packet], None] | None = None
+        self.on_drop: Callable[[Packet, str], None] | None = None
+        sim.process(self._transmitter(), name=f"link:{src}->{dst}")
+
+    @property
+    def name(self) -> str:
+        return f"{self.src}->{self.dst}"
+
+    def serialization_delay(self, size_bytes: int) -> float:
+        return size_bytes * 8.0 / self.rate_bps
+
+    # -- ingress ---------------------------------------------------------
+    def enqueue(self, pkt: Packet) -> bool:
+        """Offer a packet; returns False (and counts a drop) if full."""
+        try:
+            self.queue.put_nowait(pkt)
+            return True
+        except QueueFullError:
+            self.stats.queue_drops += 1
+            if self.on_drop is not None:
+                self.on_drop(pkt, "drop-queue")
+            return False
+
+    # -- transmitter process ----------------------------------------------
+    def _transmitter(self):
+        while True:
+            pkt: Packet = yield self.queue.get()
+            ser = self.serialization_delay(pkt.size_bytes)
+            yield self.sim.timeout(ser)
+            self.stats.busy_time += ser
+            self.stats.tx_packets += 1
+            self.stats.tx_bytes += pkt.size_bytes
+            self.sim.call_later(self.delay_s, lambda p=pkt: self._propagated(p))
+
+    def _propagated(self, pkt: Packet) -> None:
+        if self.loss_model is not None and self.loss_model.is_lost():
+            self.stats.loss_drops += 1
+            if self.on_drop is not None:
+                self.on_drop(pkt, "drop-loss")
+            return
+        if self.on_arrival is not None:
+            pkt.hops += 1
+            self.on_arrival(pkt)
+
+    def sample_occupancy(self) -> None:
+        """Record (now, queue length) for occupancy-trace experiments."""
+        self.stats.occupancy_samples.append((self.sim.now, self.queue.level))

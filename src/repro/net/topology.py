@@ -1,0 +1,190 @@
+"""Network topology: nodes, links, shortest-path forwarding.
+
+The :class:`Network` owns the :mod:`networkx` graph, precomputes
+next-hop tables (Dijkstra on propagation delay), forwards packets
+hop-by-hop through :class:`~repro.net.link.Link` queues, and feeds
+the global :class:`~repro.net.packet.PacketTap`.
+
+Endpoints (:class:`Node`) expose a small port-based dispatch: an
+application binds a handler to a port and receives the packets
+addressed to it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import networkx as nx
+
+from repro.des import Simulator
+from repro.net.link import Link
+from repro.net.packet import Packet, PacketTap
+
+__all__ = ["Node", "Network"]
+
+
+class Node:
+    """A host or switch; applications bind handlers to ports."""
+
+    def __init__(self, network: "Network", node_id: str) -> None:
+        self.network = network
+        self.node_id = node_id
+        self._ports: dict[int, Callable[[Packet], None]] = {}
+        self.rx_packets = 0
+        self.rx_bytes = 0
+
+    def bind(self, port: int, handler: Callable[[Packet], None]) -> None:
+        if port in self._ports:
+            raise ValueError(f"port {port} already bound on {self.node_id}")
+        self._ports[port] = handler
+
+    def unbind(self, port: int) -> None:
+        self._ports.pop(port, None)
+
+    def deliver(self, pkt: Packet) -> None:
+        self.rx_packets += 1
+        self.rx_bytes += pkt.size_bytes
+        handler = self._ports.get(pkt.dst_port)
+        if handler is not None:
+            handler(pkt)
+        # Unbound ports silently discard, as an OS would.
+
+
+class Network:
+    """The simulated broadband network."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self.graph = nx.DiGraph()
+        self.nodes: dict[str, Node] = {}
+        self.links: dict[tuple[str, str], Link] = {}
+        self.tap = PacketTap()
+        self._next_hop: dict[tuple[str, str], str] | None = None
+
+    # -- construction ----------------------------------------------------
+    def add_node(self, node_id: str) -> Node:
+        if node_id in self.nodes:
+            raise ValueError(f"node {node_id!r} already exists")
+        node = Node(self, node_id)
+        self.nodes[node_id] = node
+        self.graph.add_node(node_id)
+        self._next_hop = None
+        return node
+
+    def add_link(
+        self,
+        src: str,
+        dst: str,
+        rate_bps: float,
+        delay_s: float,
+        queue_packets: int = 100,
+        loss_model=None,
+        atm: bool = False,
+    ) -> Link:
+        """Add a unidirectional link (call twice for a duplex pair).
+
+        ``atm=True`` gives the link an ATM cell layer (53-byte cells,
+        per-cell loss — the paper's future-work testbed).
+        """
+        if src not in self.nodes or dst not in self.nodes:
+            raise KeyError("both endpoints must be added before the link")
+        if (src, dst) in self.links:
+            raise ValueError(f"link {src}->{dst} already exists")
+        if atm:
+            from repro.net.atm import AtmLink
+
+            link: Link = AtmLink(
+                self.sim, src, dst, rate_bps, delay_s,
+                queue_packets=queue_packets, loss_model=loss_model,
+            )
+        else:
+            link = Link(
+                self.sim, src, dst, rate_bps, delay_s,
+                queue_packets=queue_packets, loss_model=loss_model,
+            )
+        self._wire(link)
+        link.on_drop = self._on_link_drop
+        self.links[(src, dst)] = link
+        self.graph.add_edge(src, dst, weight=delay_s + 1e-9, link=link)
+        self._next_hop = None
+        return link
+
+    def add_duplex_link(
+        self,
+        a: str,
+        b: str,
+        rate_bps: float,
+        delay_s: float,
+        queue_packets: int = 100,
+        loss_model=None,
+        atm: bool = False,
+    ) -> tuple[Link, Link]:
+        return (
+            self.add_link(a, b, rate_bps, delay_s, queue_packets,
+                          loss_model, atm=atm),
+            self.add_link(b, a, rate_bps, delay_s, queue_packets,
+                          loss_model, atm=atm),
+        )
+
+    def node(self, node_id: str) -> Node:
+        try:
+            return self.nodes[node_id]
+        except KeyError:
+            raise KeyError(f"no node {node_id!r}") from None
+
+    def link(self, src: str, dst: str) -> Link:
+        try:
+            return self.links[(src, dst)]
+        except KeyError:
+            raise KeyError(f"no link {src}->{dst}") from None
+
+    # -- routing -----------------------------------------------------------
+    def _routes(self) -> dict[tuple[str, str], str]:
+        if self._next_hop is None:
+            table: dict[tuple[str, str], str] = {}
+            paths = dict(nx.all_pairs_dijkstra_path(self.graph, weight="weight"))
+            for src, by_dst in paths.items():
+                for dst, path in by_dst.items():
+                    if len(path) >= 2:
+                        table[(src, dst)] = path[1]
+            self._next_hop = table
+        return self._next_hop
+
+    def path(self, src: str, dst: str) -> list[str]:
+        return nx.dijkstra_path(self.graph, src, dst, weight="weight")
+
+    # -- data plane ----------------------------------------------------------
+    def send(self, pkt: Packet) -> bool:
+        """Inject a packet at its source node. Returns admission result."""
+        if pkt.src not in self.nodes:
+            raise KeyError(f"unknown source node {pkt.src!r}")
+        if pkt.dst not in self.nodes:
+            raise KeyError(f"unknown destination node {pkt.dst!r}")
+        pkt.created_at = self.sim.now
+        if pkt.src == pkt.dst:
+            # Loopback: deliver immediately.
+            self.tap.record(self.sim.now, "deliver", pkt)
+            self.nodes[pkt.dst].deliver(pkt)
+            return True
+        return self._forward(pkt, at=pkt.src)
+
+    def _forward(self, pkt: Packet, at: str) -> bool:
+        routes = self._routes()
+        nxt = routes.get((at, pkt.dst))
+        if nxt is None:
+            raise nx.NetworkXNoPath(f"no route {at} -> {pkt.dst}")
+        return self.links[(at, nxt)].enqueue(pkt)
+
+    def _on_link_drop(self, pkt: Packet, kind: str) -> None:
+        self.tap.record(self.sim.now, kind, pkt)
+
+    def _wire(self, link: Link) -> None:
+        """Route packets leaving this link: deliver locally or forward."""
+        def arrive(pkt: Packet, _dst: str = link.dst) -> None:
+            if _dst == pkt.dst:
+                self.tap.record(self.sim.now, "deliver", pkt)
+                self.nodes[_dst].deliver(pkt)
+            else:
+                self._forward(pkt, at=_dst)
+
+        link.on_arrival = arrive

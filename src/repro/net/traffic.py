@@ -1,0 +1,140 @@
+"""Cross-traffic sources used to load the network.
+
+Congestion in the experiments is created by competing traffic on
+shared links, reproducing "times of network congestion" in which the
+paper's recovery mechanisms must act:
+
+* :class:`PoissonTrafficSource` — memoryless packet arrivals at a
+  configurable mean rate (classic background load).
+* :class:`OnOffTrafficSource` — exponential ON/OFF bursts sending at
+  peak rate during ON periods; superpositions of these produce the
+  bursty, correlated load broadband links actually see.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.des import Simulator
+from repro.net.channel import DatagramSocket
+from repro.net.topology import Network
+
+__all__ = ["PoissonTrafficSource", "OnOffTrafficSource"]
+
+
+class _TrafficBase:
+    def __init__(
+        self,
+        network: Network,
+        src: str,
+        dst: str,
+        rng: np.random.Generator,
+        packet_bytes: int = 1000,
+        port: int = 9,
+        flow_id: str = "",
+        start_at: float = 0.0,
+        stop_at: float = float("inf"),
+    ) -> None:
+        self.network = network
+        self.sim: Simulator = network.sim
+        self.src = src
+        self.dst = dst
+        self.rng = rng
+        self.packet_bytes = packet_bytes
+        self.flow_id = flow_id or f"xtraffic:{src}->{dst}"
+        self.start_at = start_at
+        self.stop_at = stop_at
+        self.packets_sent = 0
+        self._socket = DatagramSocket(network, src, port=self._free_port(port))
+        self.sim.process(self._run(), name=self.flow_id)
+
+    def _free_port(self, base: int) -> int:
+        node = self.network.node(self.src)
+        port = base
+        while port in node._ports:
+            port += 1
+        return port
+
+    def _emit(self) -> None:
+        self.packets_sent += 1
+        self._socket.sendto(
+            self.dst,
+            dst_port=9,
+            size_bytes=self.packet_bytes,
+            protocol="UDP",
+            flow_id=self.flow_id,
+            seq=self.packets_sent,
+        )
+
+    def _run(self):  # pragma: no cover - overridden
+        raise NotImplementedError
+        yield
+
+
+class PoissonTrafficSource(_TrafficBase):
+    """Poisson packet arrivals at ``rate_bps`` mean load."""
+
+    def __init__(self, network, src, dst, rng, rate_bps: float, **kw) -> None:
+        if rate_bps <= 0:
+            raise ValueError("rate_bps must be positive")
+        self.rate_bps = rate_bps
+        super().__init__(network, src, dst, rng, **kw)
+
+    @property
+    def mean_interarrival_s(self) -> float:
+        return self.packet_bytes * 8.0 / self.rate_bps
+
+    def _run(self):
+        if self.start_at > 0:
+            yield self.sim.timeout(self.start_at)
+        while self.sim.now < self.stop_at:
+            yield self.sim.timeout(
+                float(self.rng.exponential(self.mean_interarrival_s))
+            )
+            if self.sim.now >= self.stop_at:
+                break
+            self._emit()
+
+
+class OnOffTrafficSource(_TrafficBase):
+    """Exponential ON/OFF source bursting at ``peak_rate_bps``.
+
+    Mean load is ``peak_rate_bps * on_mean / (on_mean + off_mean)``.
+    """
+
+    def __init__(
+        self,
+        network,
+        src,
+        dst,
+        rng,
+        peak_rate_bps: float,
+        on_mean_s: float = 1.0,
+        off_mean_s: float = 1.0,
+        **kw,
+    ) -> None:
+        if peak_rate_bps <= 0:
+            raise ValueError("peak_rate_bps must be positive")
+        if on_mean_s <= 0 or off_mean_s <= 0:
+            raise ValueError("on/off means must be positive")
+        self.peak_rate_bps = peak_rate_bps
+        self.on_mean_s = on_mean_s
+        self.off_mean_s = off_mean_s
+        super().__init__(network, src, dst, rng, **kw)
+
+    @property
+    def mean_rate_bps(self) -> float:
+        duty = self.on_mean_s / (self.on_mean_s + self.off_mean_s)
+        return self.peak_rate_bps * duty
+
+    def _run(self):
+        interval = self.packet_bytes * 8.0 / self.peak_rate_bps
+        if self.start_at > 0:
+            yield self.sim.timeout(self.start_at)
+        while self.sim.now < self.stop_at:
+            on_len = float(self.rng.exponential(self.on_mean_s))
+            burst_end = self.sim.now + on_len
+            while self.sim.now < burst_end and self.sim.now < self.stop_at:
+                self._emit()
+                yield self.sim.timeout(interval)
+            yield self.sim.timeout(float(self.rng.exponential(self.off_mean_s)))

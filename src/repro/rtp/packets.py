@@ -1,0 +1,96 @@
+"""RTP and RTCP packet structures.
+
+These are the header fields the paper enumerates for RTP data packets
+("a timestamp ... packet sequencing information ... the packet's data
+payload type") and RTCP receiver reports ("packet's transmission
+delay, delay jitter and packet loss").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = [
+    "RTP_HEADER_BYTES",
+    "RTCP_RR_BYTES",
+    "SEQ_MODULUS",
+    "RtpPacket",
+    "RtcpSenderReport",
+    "RtcpReceiverReport",
+]
+
+RTP_HEADER_BYTES = 12
+RTCP_RR_BYTES = 52
+#: RTP sequence numbers are 16-bit and wrap.
+SEQ_MODULUS = 1 << 16
+
+
+@dataclass(frozen=True, slots=True)
+class RtpPacket:
+    """One RTP datagram (possibly a fragment of a media frame).
+
+    ``timestamp`` is in media clock ticks; all fragments of one frame
+    share it. ``marker`` is set on the final fragment of a frame
+    (standard RTP video usage).
+    """
+
+    ssrc: int
+    payload_type: int
+    seq: int
+    timestamp: int
+    marker: bool
+    payload_bytes: int
+    fragment_index: int = 0
+    fragment_count: int = 1
+    frame: Any = None  # carried on the last fragment only
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.seq < SEQ_MODULUS):
+            raise ValueError(f"seq must be in [0, {SEQ_MODULUS}), got {self.seq}")
+        if self.payload_bytes <= 0:
+            raise ValueError("payload_bytes must be positive")
+        if not (0 <= self.fragment_index < self.fragment_count):
+            raise ValueError("fragment_index out of range")
+
+    @property
+    def size_bytes(self) -> int:
+        return self.payload_bytes + RTP_HEADER_BYTES
+
+
+@dataclass(frozen=True, slots=True)
+class RtcpSenderReport:
+    """Sender report: what the source has emitted so far."""
+
+    ssrc: int
+    rtp_timestamp: int
+    packet_count: int
+    octet_count: int
+    sent_at: float
+
+
+@dataclass(frozen=True, slots=True)
+class RtcpReceiverReport:
+    """Receiver report fed back to the Server QoS Manager.
+
+    ``fraction_lost`` covers the interval since the previous report;
+    ``cumulative_lost`` is connection lifetime. ``mean_delay_s`` and
+    ``jitter_s`` are the receiver's current estimates (simulated
+    clocks are synchronized, so one-way delay is directly
+    observable — a luxury the 1996 testbed approximated from RTCP
+    round trips).
+    """
+
+    ssrc: int
+    stream_id: str
+    fraction_lost: float
+    cumulative_lost: int
+    highest_seq: int
+    jitter_s: float
+    mean_delay_s: float
+    interval_received: int
+    sent_at: float
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.fraction_lost <= 1.0):
+            raise ValueError("fraction_lost must be in [0, 1]")

@@ -1,0 +1,240 @@
+"""RTP sender and receiver endpoints.
+
+The sender packetizes media frames (fragmenting above the MTU, all
+fragments sharing the frame's timestamp, marker on the last); the
+receiver reassembles frames, tracks loss from sequence numbers, and
+maintains the delay/jitter estimates the Client QoS Manager reports
+upstream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.des import Simulator
+from repro.media.types import Frame
+from repro.net.channel import DatagramSocket
+from repro.net.packet import Packet
+from repro.net.topology import Network
+from repro.rtp.jitter import InterarrivalJitterEstimator
+from repro.rtp.packets import RTP_HEADER_BYTES, SEQ_MODULUS, RtpPacket
+
+__all__ = ["RtpSender", "RtpReceiver", "RtpReceiverStats"]
+
+DEFAULT_MTU_PAYLOAD = 1400
+
+
+class RtpSender:
+    """Packetizes frames of one media stream onto the network."""
+
+    def __init__(
+        self,
+        network: Network,
+        node_id: str,
+        port: int,
+        dst: str,
+        dst_port: int,
+        ssrc: int,
+        payload_type: int,
+        clock_rate: int,
+        stream_id: str,
+        mtu_payload: int = DEFAULT_MTU_PAYLOAD,
+    ) -> None:
+        self.sim: Simulator = network.sim
+        self.network = network
+        self.socket = DatagramSocket(network, node_id, port)
+        self.node_id = node_id
+        self.dst = dst
+        self.dst_port = dst_port
+        self.ssrc = ssrc
+        self.payload_type = payload_type
+        self.clock_rate = clock_rate
+        self.stream_id = stream_id
+        self.mtu_payload = mtu_payload
+        self._seq = 0
+        self.packet_count = 0
+        self.octet_count = 0
+
+    def send_frame(self, frame: Frame) -> int:
+        """Packetize and transmit one frame; returns packets sent."""
+        n_frags = max(1, -(-frame.size_bytes // self.mtu_payload))
+        remaining = frame.size_bytes
+        for i in range(n_frags):
+            frag_bytes = min(self.mtu_payload, remaining)
+            remaining -= frag_bytes
+            last = i == n_frags - 1
+            rtp = RtpPacket(
+                ssrc=self.ssrc,
+                payload_type=self.payload_type,
+                seq=self._seq,
+                timestamp=frame.media_time,
+                marker=last,
+                payload_bytes=frag_bytes,
+                fragment_index=i,
+                fragment_count=n_frags,
+                frame=frame if last else None,
+            )
+            pkt = Packet(
+                src=self.node_id,
+                dst=self.dst,
+                size_bytes=rtp.size_bytes,
+                protocol="RTP",
+                flow_id=self.stream_id,
+                dst_port=self.dst_port,
+                payload=rtp,
+                seq=self._seq,
+            )
+            self.network.send(pkt)
+            self._seq = (self._seq + 1) % SEQ_MODULUS
+            self.packet_count += 1
+            self.octet_count += frag_bytes
+        return n_frags
+
+    def close(self) -> None:
+        self.socket.close()
+
+
+@dataclass(slots=True)
+class RtpReceiverStats:
+    """Receiver-side counters and estimates for one stream."""
+
+    packets_received: int = 0
+    frames_received: int = 0
+    frames_dropped_fragments: int = 0
+    bytes_received: int = 0
+    base_seq: int | None = None
+    highest_seq: int | None = None
+    cumulative_lost: int = 0
+    delay_sum_s: float = 0.0
+    delay_samples: int = 0
+    last_delay_s: float = 0.0
+    #: interval accumulators, reset by the RTCP reporter
+    interval_expected_base: int = 0
+    interval_received: int = 0
+
+    @property
+    def mean_delay_s(self) -> float:
+        if self.delay_samples == 0:
+            return 0.0
+        return self.delay_sum_s / self.delay_samples
+
+    @property
+    def expected(self) -> int:
+        if self.base_seq is None or self.highest_seq is None:
+            return 0
+        return self.highest_seq - self.base_seq + 1
+
+
+class RtpReceiver:
+    """Receives one stream's RTP packets and reassembles frames.
+
+    Complete frames are handed to ``on_frame(frame, arrival_s)``.
+    Loss accounting follows the RFC's expected-vs-received method on
+    (unwrapped) sequence numbers; a frame with any missing fragment is
+    counted as dropped when a newer frame completes.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        node_id: str,
+        port: int,
+        clock_rate: int,
+        stream_id: str,
+        on_frame: Callable[[Frame, float], None] | None = None,
+    ) -> None:
+        self.sim: Simulator = network.sim
+        self.network = network
+        self.node_id = node_id
+        self.port = port
+        self.clock_rate = clock_rate
+        self.stream_id = stream_id
+        self.on_frame = on_frame
+        self.stats = RtpReceiverStats()
+        self.jitter = InterarrivalJitterEstimator(clock_rate)
+        self._unwrapped_high: int | None = None
+        self._frag_seen: dict[int, int] = {}  # timestamp -> fragments seen
+        network.node(node_id).bind(port, self._on_packet)
+
+    def close(self) -> None:
+        self.network.node(self.node_id).unbind(self.port)
+
+    # -- packet path ------------------------------------------------------
+    def _unwrap(self, seq: int) -> int:
+        if self._unwrapped_high is None:
+            self._unwrapped_high = seq
+            return seq
+        high = self._unwrapped_high
+        candidate = (high - high % SEQ_MODULUS) + seq
+        # Choose the unwrapping closest to the previous highest.
+        alternatives = (candidate - SEQ_MODULUS, candidate, candidate + SEQ_MODULUS)
+        best = min(alternatives, key=lambda c: abs(c - high))
+        if best > high:
+            self._unwrapped_high = best
+        return best
+
+    def _on_packet(self, pkt: Packet) -> None:
+        rtp = pkt.payload
+        if not isinstance(rtp, RtpPacket):
+            return
+        now = self.sim.now
+        st = self.stats
+        st.packets_received += 1
+        st.interval_received += 1
+        st.bytes_received += rtp.payload_bytes
+        useq = self._unwrap(rtp.seq)
+        if st.base_seq is None:
+            st.base_seq = useq
+        st.highest_seq = max(st.highest_seq or useq, useq)
+        st.cumulative_lost = max(0, st.expected - st.packets_received)
+        delay = now - pkt.created_at
+        st.last_delay_s = delay
+        st.delay_sum_s += delay
+        st.delay_samples += 1
+        self.jitter.observe(now, rtp.timestamp)
+        # Frame reassembly.
+        seen = self._frag_seen.get(rtp.timestamp, 0) + 1
+        if seen == rtp.fragment_count and rtp.marker:
+            self._frag_seen.pop(rtp.timestamp, None)
+            st.frames_received += 1
+            self._gc_stale_frames(rtp.timestamp)
+            if self.on_frame is not None and rtp.frame is not None:
+                self.on_frame(rtp.frame, now)
+        else:
+            self._frag_seen[rtp.timestamp] = seen
+
+    def _gc_stale_frames(self, completed_ts: int) -> None:
+        """Frames older than a completed one can never finish: count them."""
+        stale = [ts for ts in self._frag_seen if ts < completed_ts]
+        for ts in stale:
+            del self._frag_seen[ts]
+            self.stats.frames_dropped_fragments += 1
+
+    # -- RTCP support -------------------------------------------------------
+    def peek_interval_loss(self) -> float:
+        """Current interval's loss fraction, without resetting it
+        (used by adaptive reporters to detect congestion early)."""
+        st = self.stats
+        if st.highest_seq is None or st.base_seq is None:
+            return 0.0
+        interval_expected = st.expected - st.interval_expected_base
+        if interval_expected <= 0:
+            return 0.0
+        lost = max(0, interval_expected - st.interval_received)
+        return min(1.0, lost / interval_expected)
+
+    def snapshot_interval(self) -> tuple[float, int]:
+        """Return (fraction_lost, received) for the interval and reset it."""
+        st = self.stats
+        if st.highest_seq is None or st.base_seq is None:
+            return 0.0, 0
+        expected_now = st.expected
+        interval_expected = expected_now - st.interval_expected_base
+        received = st.interval_received
+        st.interval_expected_base = expected_now
+        st.interval_received = 0
+        if interval_expected <= 0:
+            return 0.0, received
+        lost = max(0, interval_expected - received)
+        return min(1.0, lost / interval_expected), received

@@ -1,0 +1,239 @@
+"""Media servers: per-media-type storage and transmission (§2, §6.1).
+
+"Media servers in which media objects are stored ... each one is
+responsible for transmitting a certain media type through a parallel
+connection which is established between the browser and the
+corresponding media server. The media objects involved are
+transmitted from the media servers towards the browser according to
+the presentation scenario and the presentation constraints. The
+transmission process of each media object is adjusted according to
+the feedback reports."
+
+Continuous objects stream over RTP via a :class:`StreamHandler`
+(whose grade the Quality Converter adjusts live); discrete objects
+ship over the reliable channel.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.client.playout import PauseGate
+from repro.des import Event, Simulator
+from repro.media.store import MediaStore
+from repro.net.channel import ReliableSender
+from repro.net.topology import Network
+from repro.rtp.rtcp import RtcpSink
+from repro.rtp.session import RtpSender
+from repro.server.quality_converter import MediaStreamQualityConverter
+
+__all__ = ["StreamHandler", "MediaServer"]
+
+#: Media servers may share a host node (§6.1), so transmission ports
+#: are allocated from one global pool to avoid collisions.
+_tx_ports = itertools.count(20_000)
+
+
+class StreamHandler:
+    """Streams one continuous media object to one client."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        converter: MediaStreamQualityConverter,
+        sender: RtpSender,
+        duration_s: float,
+        send_offset_s: float = 0.0,
+        gate: PauseGate | None = None,
+    ) -> None:
+        if duration_s <= 0:
+            raise ValueError("duration_s must be positive")
+        self.sim = sim
+        self.converter = converter
+        self.source = converter.source
+        self.sender = sender
+        self.duration_s = duration_s
+        self.send_offset_s = send_offset_s
+        self.gate = gate
+        self.frames_sent = 0
+        self.suspended_intervals = 0
+        self.finished: Event = sim.event()
+        self.process = sim.process(
+            self._run(), name=f"stream:{self.source.stream_id}"
+        )
+
+    @property
+    def stream_id(self) -> str:
+        return self.source.stream_id
+
+    def _run(self):
+        sim = self.sim
+        if self.send_offset_s > 0:
+            yield sim.timeout(self.send_offset_s)
+        while self.source.media_time_s < self.duration_s - 1e-9:
+            if self.gate is not None and self.gate.paused:
+                yield self.gate.wait()
+            interval = self.source.frame_interval_s
+            frame = self.source.next_frame()
+            if frame is not None:
+                self.sender.send_frame(frame)
+                self.frames_sent += 1
+            else:
+                self.suspended_intervals += 1
+            yield sim.timeout(interval)
+        self.finished.succeed(self.frames_sent)
+
+    def stop(self) -> None:
+        if self.process.is_alive:
+            self.process.interrupt("session closed")
+
+
+@dataclass(slots=True)
+class DiscreteDelivery:
+    """Bookkeeping for one reliable blob transfer."""
+
+    element_id: str
+    size_bytes: int
+    done: Event
+
+
+class MediaServer:
+    """One media server: a store plus transmission machinery."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        name: str,
+        node_id: str,
+        store: MediaStore,
+    ) -> None:
+        self.sim = sim
+        self.network = network
+        self.name = name
+        self.node_id = node_id
+        self.store = store
+        #: (session_id, stream_id) -> live handler
+        self.streams: dict[tuple[str, str], StreamHandler] = {}
+        self.deliveries: list[DiscreteDelivery] = []
+        self._gates: dict[str, PauseGate] = {}
+        self._rtcp_sink: RtcpSink | None = None
+
+    def _next_port(self) -> int:
+        return next(_tx_ports)
+
+    # -- QoS feedback path -------------------------------------------------
+    def open_rtcp_sink(self, port: int, on_report) -> RtcpSink:
+        """Receive RTCP receiver reports on this server's node."""
+        self._rtcp_sink = RtcpSink(self.network, self.node_id, port,
+                                   on_report=on_report)
+        return self._rtcp_sink
+
+    # -- session gates -------------------------------------------------------
+    def gate_for(self, session_id: str) -> PauseGate:
+        gate = self._gates.get(session_id)
+        if gate is None:
+            gate = PauseGate(self.sim)
+            self._gates[session_id] = gate
+        return gate
+
+    def pause_session(self, session_id: str) -> None:
+        """User pressed pause: stop transmitting this session's data."""
+        self.gate_for(session_id).pause()
+
+    def resume_session(self, session_id: str) -> None:
+        self.gate_for(session_id).resume()
+
+    # -- continuous streaming -----------------------------------------------
+    def start_stream(
+        self,
+        session_id: str,
+        object_path: str,
+        stream_id: str,
+        client_node: str,
+        client_port: int,
+        duration_s: float,
+        send_offset_s: float = 0.0,
+        initial_grade: int = 0,
+        floor_grade: int = 99,
+        allow_suspend: bool = True,
+        ssrc: int = 0,
+    ) -> tuple[StreamHandler, MediaStreamQualityConverter]:
+        """Activate transmission of one continuous object.
+
+        Returns the handler and its quality converter (which the
+        Server QoS Manager registers for grading).
+        """
+        key = (session_id, stream_id)
+        if key in self.streams:
+            raise ValueError(
+                f"stream {stream_id!r} already active on {self.name} "
+                f"for session {session_id!r}"
+            )
+        source = self.store.frame_source(object_path, grade_index=initial_grade)
+        # Stream under the scenario's element id, not the storage path.
+        source.stream_id = stream_id
+        codec = self.store.codec_for(object_path)
+        converter = MediaStreamQualityConverter(
+            source, floor_grade=floor_grade, allow_suspend=allow_suspend
+        )
+        sender = RtpSender(
+            self.network, self.node_id, self._next_port(),
+            client_node, client_port,
+            ssrc=ssrc, payload_type=codec.payload_type,
+            clock_rate=codec.clock_rate, stream_id=stream_id,
+        )
+        handler = StreamHandler(
+            self.sim, converter, sender, duration_s=duration_s,
+            send_offset_s=send_offset_s, gate=self.gate_for(session_id),
+        )
+        self.streams[key] = handler
+        # Natural completion releases the registration (and the port),
+        # so a later document in the same session can reuse element ids.
+        handler.finished.callbacks.append(
+            lambda ev: self._on_stream_finished(key)
+        )
+        return handler, converter
+
+    def _on_stream_finished(self, key: tuple[str, str]) -> None:
+        handler = self.streams.pop(key, None)
+        if handler is not None:
+            handler.sender.close()
+
+    def streams_of(self, session_id: str) -> dict[str, StreamHandler]:
+        return {sid: h for (sess, sid), h in self.streams.items()
+                if sess == session_id}
+
+    def stop_stream(self, session_id: str, stream_id: str) -> None:
+        handler = self.streams.pop((session_id, stream_id), None)
+        if handler is not None:
+            handler.stop()
+            handler.sender.close()
+
+    def stop_session(self, session_id: str) -> None:
+        """Stop every stream this session has on this media server."""
+        for sid in list(self.streams_of(session_id)):
+            self.stop_stream(session_id, sid)
+
+    # -- discrete delivery -------------------------------------------------------
+    def send_discrete(
+        self,
+        element_id: str,
+        object_path: str,
+        client_node: str,
+        client_port: int,
+        flow_id: str,
+    ) -> Event:
+        """Ship a discrete object reliably; returns its completion event."""
+        size = self.store.blob_size(object_path)
+        sender = ReliableSender(
+            self.network, self.node_id, self._next_port(),
+            client_node, client_port, flow_id=flow_id,
+        )
+        done = sender.send_message(size, payload={"element_id": element_id})
+        done.callbacks.append(lambda ev: sender.close())
+        self.deliveries.append(
+            DiscreteDelivery(element_id=element_id, size_bytes=size, done=done)
+        )
+        return done

@@ -1,0 +1,217 @@
+"""The multimedia server (§2, §4).
+
+Holds the multimedia database (presentation scenarios + topics),
+performs authentication/subscription against the service-wide account
+registry, runs admission control, computes flow scenarios and
+activates the media servers attached to it. The application protocol
+(connect / request / suspend / search — Figure 4) is driven by
+:mod:`repro.service.session`; this class is the server-side engine it
+calls into.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.des import Simulator
+from repro.media.encodings import CodecRegistry
+from repro.model.scenario import PresentationScenario
+from repro.server.accounts import AccountRegistry, UserAccount
+from repro.server.admission import (
+    AdmissionController,
+    AdmissionRequest,
+    AdmissionResult,
+)
+from repro.server.database import MultimediaDatabase, StoredDocument
+from repro.server.flow_scheduler import FlowScenario, FlowScheduler
+from repro.server.media_server import MediaServer
+from repro.server.qos_manager import GradingPolicy, ServerQoSManager
+
+__all__ = ["MultimediaServer", "ServedSession"]
+
+
+@dataclass(slots=True)
+class ServedSession:
+    """Server-side state of one admitted client session."""
+
+    session_id: str
+    user: UserAccount
+    reserved_bw_bps: float
+    qos_manager: ServerQoSManager
+    active_document: str | None = None
+    flow: FlowScenario | None = None
+    started_at: float = 0.0
+    #: granted/requested bandwidth (< 1 when admission negotiated the
+    #: connection down to a lower quality, §4)
+    grant_ratio: float = 1.0
+
+
+class MultimediaServer:
+    """One service server: scenarios, accounts, admission, flows."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        node_id: str,
+        database: MultimediaDatabase,
+        accounts: AccountRegistry,
+        codecs: CodecRegistry,
+        media_servers: dict[str, MediaServer],
+        admission: AdmissionController | None = None,
+        grading_policy: GradingPolicy | None = None,
+        description: str = "",
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.node_id = node_id
+        self.database = database
+        self.accounts = accounts
+        self.codecs = codecs
+        self.media_servers = dict(media_servers)
+        self.admission = admission if admission is not None \
+            else AdmissionController(capacity_bps=100e6)
+        self.grading_policy = grading_policy
+        self.description = description
+        self.flow_scheduler = FlowScheduler(codecs)
+        self.sessions: dict[str, ServedSession] = {}
+        #: other servers of the service, for query forwarding (§6.2.2)
+        self.peers: dict[str, "MultimediaServer"] = {}
+
+    # -- service topology -------------------------------------------------
+    def add_peer(self, server: "MultimediaServer") -> None:
+        if server.name == self.name:
+            raise ValueError("a server cannot peer with itself")
+        self.peers[server.name] = server
+
+    def media_server(self, name: str) -> MediaServer:
+        try:
+            return self.media_servers[name]
+        except KeyError:
+            raise KeyError(
+                f"server {self.name!r} has no media server {name!r}"
+            ) from None
+
+    # -- connection admission (§4) -------------------------------------------
+    def connect(
+        self,
+        session_id: str,
+        user: UserAccount,
+        required_bw_bps: float,
+        min_bw_bps: float | None = None,
+    ) -> tuple[AdmissionResult, ServedSession | None]:
+        result = self.admission.decide(
+            AdmissionRequest(
+                session_id=session_id,
+                user_id=user.user_id,
+                contract=user.contract,
+                required_bw_bps=required_bw_bps,
+                min_bw_bps=min_bw_bps,
+            )
+        )
+        if not result.admitted:
+            return result, None
+        session = ServedSession(
+            session_id=session_id,
+            user=user,
+            reserved_bw_bps=result.reserved_bw_bps,
+            qos_manager=ServerQoSManager(self.sim, self.grading_policy),
+            started_at=self.sim.now,
+            grant_ratio=result.grant_ratio,
+        )
+        self.sessions[session_id] = session
+        user.log("login", self.sim.now, self.name)
+        return result, session
+
+    def disconnect(self, session_id: str) -> float:
+        """Close a session; returns the pricing charge."""
+        session = self.sessions.pop(session_id, None)
+        if session is None:
+            return 0.0
+        self.admission.release(session_id)
+        for ms in self.media_servers.values():
+            ms.stop_session(session_id)
+        minutes = (self.sim.now - session.started_at) / 60.0
+        charge = self.accounts.charge_session(session.user.user_id, minutes)
+        session.user.log("logout", self.sim.now, self.name)
+        return charge
+
+    # -- document service ---------------------------------------------------------
+    def topics(self) -> list[str]:
+        return self.database.topics()
+
+    def list_documents(self, topic: str | None = None) -> list[str]:
+        if topic is None:
+            return self.database.names()
+        return self.database.by_topic(topic)
+
+    def fetch_document(self, session_id: str, name: str) -> StoredDocument:
+        session = self.sessions.get(session_id)
+        if session is None:
+            raise PermissionError(f"no admitted session {session_id!r}")
+        stored = self.database.get(name)
+        session.active_document = name
+        session.user.log("retrieve", self.sim.now, name)
+        return stored
+
+    def plan_flows(self, session_id: str, name: str,
+                   lead_s: float = 1.0) -> FlowScenario:
+        """Compute the flow scenario for a requested document.
+
+        A negotiated (partially admitted) session starts its streams
+        at a grade whose rate fits the granted bandwidth.
+        """
+        session = self.sessions.get(session_id)
+        if session is None:
+            raise PermissionError(f"no admitted session {session_id!r}")
+        stored = self.database.get(name)
+        scenario = PresentationScenario.from_document(stored.document)
+        initial_grade = 0
+        if session.grant_ratio < 1.0:
+            from repro.media.types import MediaType
+
+            video = self.codecs.default_for(MediaType.VIDEO)
+            initial_grade = FlowScheduler.grade_for_ratio(
+                video, session.grant_ratio
+            )
+        flow = self.flow_scheduler.compute(
+            scenario, lead_s=lead_s, prefs=session.user.qos,
+            initial_grade=initial_grade,
+        )
+        session.flow = flow
+        return flow
+
+    def locate_document(self, name: str) -> str | None:
+        """Which server of the service stores ``name``?
+
+        "For every associated document, the server where this
+        document is stored is specified" (§5): the contacted server
+        resolves locations across its peers so the client can be
+        redirected (and switch connections) when the document lives
+        elsewhere.
+        """
+        if name in self.database:
+            return self.name
+        for peer in self.peers.values():
+            if name in peer.database:
+                return peer.name
+        return None
+
+    # -- distributed search (§6.2.2) --------------------------------------------
+    def search(self, token: str, forward: bool = True) -> dict[str, list[str]]:
+        """Search this server and (optionally) every peer.
+
+        Returns {server_name: [matching document names]}; only servers
+        with matches appear — "only the lessons which contain the item
+        of interest and the server location are transmitted".
+        """
+        results: dict[str, list[str]] = {}
+        own = self.database.search(token)
+        if own:
+            results[self.name] = own
+        if forward:
+            for peer in self.peers.values():
+                theirs = peer.database.search(token)
+                if theirs:
+                    results[peer.name] = theirs
+        return results

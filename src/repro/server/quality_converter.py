@@ -1,0 +1,95 @@
+"""The Media Stream Quality Converter (§4).
+
+"Flow scheduler identifies the specific media streams that are not
+transmitted as desired, and in cooperation with the corresponding
+Media Stream Quality Converter gracefully degrades (upgrades) the
+stream's quality, e.g. by increasing (decreasing) video compression
+factor or decreasing (increasing) audio sampling frequency."
+
+The converter owns one live :class:`FrameSource` and applies grade
+transitions to it, recording the trajectory for the experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.media.encodings import SUSPENDED, Codec
+from repro.media.traces import FrameSource
+
+__all__ = ["MediaStreamQualityConverter"]
+
+
+@dataclass(slots=True)
+class ConversionRecord:
+    time: float
+    old_grade: int
+    new_grade: int
+    reason: str
+
+
+class MediaStreamQualityConverter:
+    """Applies grading decisions to one stream's frame source."""
+
+    def __init__(self, source: FrameSource, floor_grade: int,
+                 allow_suspend: bool = True) -> None:
+        if floor_grade < 0:
+            raise ValueError("floor_grade must be >= 0")
+        self.source = source
+        self.codec: Codec = source.codec
+        # The floor cannot be deeper than the ladder's worst real rung.
+        self.floor_grade = min(floor_grade, self.codec.num_grades - 1)
+        self.allow_suspend = allow_suspend
+        self.history: list[ConversionRecord] = []
+
+    @property
+    def grade_index(self) -> int:
+        return self.source.grade_index
+
+    @property
+    def suspended(self) -> bool:
+        return self.source.grade is SUSPENDED
+
+    @property
+    def at_floor(self) -> bool:
+        return self.grade_index >= self.floor_grade
+
+    @property
+    def can_degrade(self) -> bool:
+        if self.suspended:
+            return False
+        if not self.at_floor:
+            return True
+        return self.allow_suspend
+
+    @property
+    def can_upgrade(self) -> bool:
+        return self.grade_index > 0
+
+    def degrade(self, now: float, reason: str = "") -> bool:
+        """One rung worse; past the user floor this suspends the
+        stream (if allowed). Returns True if a change was applied."""
+        if not self.can_degrade:
+            return False
+        old = self.grade_index
+        if self.at_floor:
+            new = self.codec.num_grades  # suspend sentinel index
+        else:
+            new = self.codec.degrade(old)
+        self.source.set_grade(new)
+        self.history.append(ConversionRecord(now, old, new, reason))
+        return True
+
+    def upgrade(self, now: float, reason: str = "") -> bool:
+        """One rung better; from suspension, re-enter at the worst
+        real rung. Returns True if a change was applied."""
+        if not self.can_upgrade:
+            return False
+        old = self.grade_index
+        new = self.codec.upgrade(old)
+        self.source.set_grade(new)
+        self.history.append(ConversionRecord(now, old, new, reason))
+        return True
+
+    def grade_trajectory(self) -> list[tuple[float, int]]:
+        return [(r.time, r.new_grade) for r in self.history]

@@ -1,0 +1,37 @@
+"""Application/service protocol layer (§5, Figure 4).
+
+The state machine of the user's session (connect, authenticate,
+subscribe, browse, view, pause, suspend on cross-server navigation,
+disconnect), the typed control-message channel it runs over (the
+"TCP" path of Figure 5), and the distributed search primitive.
+"""
+
+from repro.service.states import (
+    SessionEvent,
+    SessionState,
+    SessionStateMachine,
+    TRANSITIONS,
+    transition_table_rows,
+)
+from repro.service.messages import ControlChannel, ControlEndpoint, ControlMessage
+from repro.service.session import ClientSession, ServerSessionHandler
+from repro.service.search import SearchClient
+from repro.service.history import NavigationHistory
+from repro.service.annotations import Annotation, AnnotationStore
+
+__all__ = [
+    "Annotation",
+    "AnnotationStore",
+    "ClientSession",
+    "NavigationHistory",
+    "ControlChannel",
+    "ControlEndpoint",
+    "ControlMessage",
+    "SearchClient",
+    "ServerSessionHandler",
+    "SessionEvent",
+    "SessionState",
+    "SessionStateMachine",
+    "TRANSITIONS",
+    "transition_table_rows",
+]

@@ -1,0 +1,77 @@
+"""User annotations on viewed documents (§5).
+
+"The user may also annotate the selected document with his own
+remarks." Annotations are the user's local remarks, attached to a
+document and optionally to one of its media components, timestamped
+in both wall time and presentation time.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+__all__ = ["Annotation", "AnnotationStore"]
+
+_annotation_ids = itertools.count(1)
+
+
+@dataclass(frozen=True, slots=True)
+class Annotation:
+    annotation_id: int
+    document: str
+    text: str
+    author: str
+    created_at: float  # simulation wall time
+    element_id: str | None = None  # None: the whole document
+    presentation_time_s: float | None = None  # where in the scenario
+
+    def __post_init__(self) -> None:
+        if not self.text.strip():
+            raise ValueError("annotation text must be non-empty")
+
+
+class AnnotationStore:
+    """The user's private annotation collection."""
+
+    def __init__(self, author: str) -> None:
+        self.author = author
+        self._by_doc: dict[str, list[Annotation]] = {}
+
+    def annotate(
+        self,
+        document: str,
+        text: str,
+        now: float,
+        element_id: str | None = None,
+        presentation_time_s: float | None = None,
+    ) -> Annotation:
+        ann = Annotation(
+            annotation_id=next(_annotation_ids),
+            document=document, text=text, author=self.author,
+            created_at=now, element_id=element_id,
+            presentation_time_s=presentation_time_s,
+        )
+        self._by_doc.setdefault(document, []).append(ann)
+        return ann
+
+    def remove(self, annotation_id: int) -> bool:
+        for anns in self._by_doc.values():
+            for i, a in enumerate(anns):
+                if a.annotation_id == annotation_id:
+                    del anns[i]
+                    return True
+        return False
+
+    def for_document(self, document: str) -> list[Annotation]:
+        return list(self._by_doc.get(document, []))
+
+    def for_element(self, document: str, element_id: str) -> list[Annotation]:
+        return [a for a in self._by_doc.get(document, [])
+                if a.element_id == element_id]
+
+    def documents(self) -> list[str]:
+        return sorted(d for d, anns in self._by_doc.items() if anns)
+
+    def __len__(self) -> int:
+        return sum(len(a) for a in self._by_doc.values())

@@ -1,0 +1,59 @@
+"""Browser navigation history (§6.2.3).
+
+"Moving backward and forward in the list of already viewed lessons.
+This can be achieved with the use of menu buttons."
+
+Standard browser-history semantics: visiting a new document while
+back in the list truncates the forward branch.
+"""
+
+from __future__ import annotations
+
+__all__ = ["NavigationHistory"]
+
+
+class NavigationHistory:
+    """Back/forward list of viewed documents."""
+
+    def __init__(self) -> None:
+        self._items: list[str] = []
+        self._pos = -1
+
+    @property
+    def current(self) -> str | None:
+        if 0 <= self._pos < len(self._items):
+            return self._items[self._pos]
+        return None
+
+    @property
+    def can_back(self) -> bool:
+        return self._pos > 0
+
+    @property
+    def can_forward(self) -> bool:
+        return self._pos < len(self._items) - 1
+
+    def visit(self, document: str) -> None:
+        """Record a newly viewed document (truncates forward branch)."""
+        if not document:
+            raise ValueError("document name must be non-empty")
+        if self.current == document:
+            return
+        del self._items[self._pos + 1:]
+        self._items.append(document)
+        self._pos += 1
+
+    def back(self) -> str:
+        if not self.can_back:
+            raise IndexError("no earlier document")
+        self._pos -= 1
+        return self._items[self._pos]
+
+    def forward(self) -> str:
+        if not self.can_forward:
+            raise IndexError("no later document")
+        self._pos += 1
+        return self._items[self._pos]
+
+    def entries(self) -> list[str]:
+        return list(self._items)

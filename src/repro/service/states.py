@@ -1,0 +1,127 @@
+"""The application state-transition diagram (paper Figure 4).
+
+States and transitions follow the §5 functional description: connect
+→ authenticate (subscribing first if not a member) → browse the topic
+list → request documents → view, with pause/resume, reload, link
+following (suspending the connection when the target lives on another
+server, with a grace interval for returning), and disconnect from any
+state.
+
+The Figure 4 benchmark regenerates this table and checks that
+scripted sessions cover every edge.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+__all__ = [
+    "SessionState",
+    "SessionEvent",
+    "TRANSITIONS",
+    "SessionStateMachine",
+    "InvalidTransition",
+    "transition_table_rows",
+]
+
+
+class SessionState(enum.Enum):
+    DISCONNECTED = "disconnected"
+    AUTHENTICATING = "authenticating"
+    SUBSCRIBING = "subscribing"
+    BROWSING = "browsing"
+    REQUESTING = "requesting"
+    VIEWING = "viewing"
+    PAUSED = "paused"
+    SUSPENDING = "suspending"
+
+
+class SessionEvent(enum.Enum):
+    CONNECT = "connect"
+    AUTH_OK = "auth-ok"
+    AUTH_FAIL = "auth-fail"
+    NOT_MEMBER = "not-member"
+    SUBSCRIBED = "subscribed"
+    REQUEST_DOCUMENT = "request-document"
+    REQUEST_REJECTED = "request-rejected"
+    SCENARIO_RECEIVED = "scenario-received"
+    PAUSE = "pause"
+    RESUME = "resume"
+    RELOAD = "reload"
+    PRESENTATION_END = "presentation-end"
+    FOLLOW_LINK_LOCAL = "follow-link-local"
+    FOLLOW_LINK_REMOTE = "follow-link-remote"
+    RECONNECTED = "reconnected"
+    SUSPEND_EXPIRED = "suspend-expired"
+    DISCONNECT = "disconnect"
+
+
+S, E = SessionState, SessionEvent
+
+#: (state, event) -> next state. DISCONNECT is additionally allowed
+#: from every state ("the user can issue a disconnect request ... at
+#: any time", §5).
+TRANSITIONS: dict[tuple[SessionState, SessionEvent], SessionState] = {
+    (S.DISCONNECTED, E.CONNECT): S.AUTHENTICATING,
+    (S.AUTHENTICATING, E.AUTH_OK): S.BROWSING,
+    (S.AUTHENTICATING, E.AUTH_FAIL): S.DISCONNECTED,
+    (S.AUTHENTICATING, E.NOT_MEMBER): S.SUBSCRIBING,
+    (S.SUBSCRIBING, E.SUBSCRIBED): S.BROWSING,
+    (S.SUBSCRIBING, E.AUTH_FAIL): S.DISCONNECTED,
+    (S.BROWSING, E.REQUEST_DOCUMENT): S.REQUESTING,
+    (S.REQUESTING, E.SCENARIO_RECEIVED): S.VIEWING,
+    (S.REQUESTING, E.REQUEST_REJECTED): S.BROWSING,
+    (S.VIEWING, E.PAUSE): S.PAUSED,
+    (S.PAUSED, E.RESUME): S.VIEWING,
+    (S.VIEWING, E.RELOAD): S.REQUESTING,
+    (S.VIEWING, E.PRESENTATION_END): S.BROWSING,
+    (S.VIEWING, E.FOLLOW_LINK_LOCAL): S.REQUESTING,
+    (S.VIEWING, E.FOLLOW_LINK_REMOTE): S.SUSPENDING,
+    (S.PAUSED, E.FOLLOW_LINK_LOCAL): S.REQUESTING,
+    (S.PAUSED, E.FOLLOW_LINK_REMOTE): S.SUSPENDING,
+    (S.SUSPENDING, E.RECONNECTED): S.REQUESTING,
+    (S.SUSPENDING, E.SUSPEND_EXPIRED): S.BROWSING,
+}
+
+_DISCONNECTABLE = [s for s in SessionState if s is not S.DISCONNECTED]
+for _s in _DISCONNECTABLE:
+    TRANSITIONS[(_s, E.DISCONNECT)] = S.DISCONNECTED
+
+
+class InvalidTransition(Exception):
+    def __init__(self, state: SessionState, event: SessionEvent) -> None:
+        super().__init__(f"event {event.value!r} invalid in state {state.value!r}")
+        self.state = state
+        self.event = event
+
+
+@dataclass(slots=True)
+class SessionStateMachine:
+    """Live FSM instance with a transition history."""
+
+    state: SessionState = SessionState.DISCONNECTED
+    history: list[tuple[float, SessionState, SessionEvent, SessionState]] = \
+        field(default_factory=list)
+
+    def can_fire(self, event: SessionEvent) -> bool:
+        return (self.state, event) in TRANSITIONS
+
+    def fire(self, event: SessionEvent, now: float = 0.0) -> SessionState:
+        try:
+            new = TRANSITIONS[(self.state, event)]
+        except KeyError:
+            raise InvalidTransition(self.state, event) from None
+        self.history.append((now, self.state, event, new))
+        self.state = new
+        return new
+
+    def edges_taken(self) -> set[tuple[SessionState, SessionEvent]]:
+        return {(old, ev) for _, old, ev, _ in self.history}
+
+
+def transition_table_rows() -> list[tuple[str, str, str]]:
+    """(state, event, next-state) rows, sorted, for the Figure 4 bench."""
+    return sorted(
+        (s.value, e.value, nxt.value) for (s, e), nxt in TRANSITIONS.items()
+    )

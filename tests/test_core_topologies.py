@@ -1,0 +1,97 @@
+"""Tests for engine topology options and full-stack interactive ops."""
+
+import pytest
+
+from repro.core import EngineConfig, ServiceEngine
+from repro.core.experiments import av_markup
+from repro.hml.examples import figure2_markup
+
+
+def test_separate_media_hosts_topology():
+    eng = ServiceEngine(EngineConfig(separate_media_hosts=True))
+    eng.add_server("srv1", documents={"fig2": (figure2_markup(), "demo")})
+    # Each media server got its own host behind the router.
+    for host in ("host:imgsrv", "host:audsrv", "host:vidsrv"):
+        assert host in eng.network.nodes
+    server = eng.servers["srv1"]
+    nodes = {ms.node_id for ms in server.media_servers.values()}
+    assert len(nodes) == 3
+    assert server.node_id not in nodes
+    # The parallel-connection delivery still works, in sync.
+    result = eng.run_full_session("srv1", "fig2")
+    assert result.completed
+    assert result.worst_skew_s() < 0.08
+    assert result.total_gap_ratio() < 0.05
+
+
+def test_colocated_default_topology():
+    eng = ServiceEngine()
+    eng.add_server("srv1", documents={"fig2": (figure2_markup(), "demo")})
+    server = eng.servers["srv1"]
+    nodes = {ms.node_id for ms in server.media_servers.values()}
+    assert nodes == {server.node_id}
+
+
+def test_full_stack_pause_resume_and_reload():
+    """§5 interactive operations across the whole stack: pause stops
+    server transmission and client playout; resume continues; reload
+    re-requests the same document."""
+    eng = ServiceEngine()
+    eng.add_server("srv1", documents={"doc": (av_markup(4.0), "x")})
+    server = eng.servers["srv1"]
+    client, handler = eng.open_session("srv1", "u", "pw")
+    box = {}
+
+    def script():
+        from repro.server.accounts import SubscriptionForm
+
+        resp = yield from client.connect()
+        if resp.msg_type == "subscribe-required":
+            yield from client.subscribe(SubscriptionForm(
+                real_name="U", address="x", email="u@e.org"))
+        resp = yield from client.request_document("doc")
+        comp = eng.build_client_composition(resp.body["markup"], server)
+        ready = yield from client.send_ready(comp.rtp_ports,
+                                             comp.discrete_ports)
+        comp.attach_feedback(ready.body["rtcp_port"], server.node_id)
+        done = comp.start()
+        # Pause both sides at t≈1.5, resume at t≈4.5.
+        yield eng.sim.timeout(1.5)
+        yield from client.pause()
+        comp.scheduler.pause()
+        pause_started = eng.sim.now
+        yield eng.sim.timeout(3.0)
+        yield from client.resume()
+        comp.scheduler.resume()
+        yield done
+        box["end"] = eng.sim.now
+        box["pause_started"] = pause_started
+        box["comp"] = comp
+        comp.qos.stop()
+        # Reload: request the same document again (FSM reload edge).
+        client.reload()
+        resp = yield from client.request_document("doc", via_link=True)
+        box["reload"] = resp.msg_type
+        yield from client.disconnect()
+
+    proc = eng.sim.process(script())
+    eng.sim.run(until=proc)
+    eng.sim.run(until=eng.sim.now + 1.0)
+    comp = box["comp"]
+    # The 4 s presentation stretched by ~3 s of pause.
+    assert box["end"] >= box["pause_started"] + 3.0
+    # No frames arrived at the client's receivers during the pause gap
+    # (beyond a small in-flight tail).
+    assert comp.log.gap_count() == 0
+    assert box["reload"] == "scenario"
+
+
+def test_time_window_sizing_uses_statistics_when_unset():
+    """With time_window_s=None the buffers size themselves from the
+    statistical formula (not a fixed default)."""
+    eng = ServiceEngine(EngineConfig(time_window_s=None))
+    eng.add_server("srv1", documents={"doc": (av_markup(3.0), "x")})
+    result = eng.run_full_session("srv1", "doc")
+    assert result.completed
+    for sid in ("A", "V"):
+        assert result.streams[sid].time_window_s >= 0.2

@@ -1,0 +1,319 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.des import AllOf, AnyOf, Event, Interrupt, Simulator, Timeout
+
+
+def test_clock_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0.0
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+    sim.timeout(2.5)
+    sim.run()
+    assert sim.now == 2.5
+
+
+def test_negative_timeout_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.timeout(-0.1)
+
+
+def test_run_until_time_stops_clock_exactly():
+    sim = Simulator()
+    sim.timeout(10.0)
+    sim.run(until=4.0)
+    assert sim.now == 4.0
+
+
+def test_run_until_past_deadline_rejected():
+    sim = Simulator()
+    sim.run(until=5.0)
+    with pytest.raises(ValueError):
+        sim.run(until=1.0)
+
+
+def test_process_sequencing_and_return_value():
+    sim = Simulator()
+    log = []
+
+    def proc():
+        log.append(("start", sim.now))
+        yield sim.timeout(1.0)
+        log.append(("mid", sim.now))
+        yield sim.timeout(2.0)
+        log.append(("end", sim.now))
+        return 42
+
+    p = sim.process(proc())
+    result = sim.run(until=p)
+    assert result == 42
+    assert log == [("start", 0.0), ("mid", 1.0), ("end", 3.0)]
+
+
+def test_same_time_events_fire_in_schedule_order():
+    sim = Simulator()
+    order = []
+
+    def make(tag):
+        def proc():
+            yield sim.timeout(1.0)
+            order.append(tag)
+
+        return proc
+
+    for tag in "abcde":
+        sim.process(make(tag)())
+    sim.run()
+    assert order == list("abcde")
+
+
+def test_process_waits_on_other_process():
+    sim = Simulator()
+
+    def child():
+        yield sim.timeout(3.0)
+        return "done"
+
+    def parent():
+        value = yield sim.process(child())
+        return (value, sim.now)
+
+    p = sim.process(parent())
+    assert sim.run(until=p) == ("done", 3.0)
+
+
+def test_wait_on_already_completed_process():
+    sim = Simulator()
+
+    def child():
+        yield sim.timeout(1.0)
+        return 7
+
+    c = sim.process(child())
+
+    def parent():
+        yield sim.timeout(5.0)
+        value = yield c  # already processed by now
+        return value
+
+    p = sim.process(parent())
+    assert sim.run(until=p) == 7
+    assert sim.now == 5.0
+
+
+def test_event_succeed_delivers_value():
+    sim = Simulator()
+    ev = sim.event()
+
+    def waiter():
+        value = yield ev
+        return value
+
+    def trigger():
+        yield sim.timeout(2.0)
+        ev.succeed("payload")
+
+    p = sim.process(waiter())
+    sim.process(trigger())
+    assert sim.run(until=p) == "payload"
+
+
+def test_event_double_trigger_rejected():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed(1)
+    with pytest.raises(RuntimeError):
+        ev.succeed(2)
+
+
+def test_event_fail_raises_in_waiter():
+    sim = Simulator()
+    ev = sim.event()
+
+    def waiter():
+        try:
+            yield ev
+        except ValueError as exc:
+            return f"caught {exc}"
+
+    def trigger():
+        yield sim.timeout(1.0)
+        ev.fail(ValueError("boom"))
+
+    p = sim.process(waiter())
+    sim.process(trigger())
+    assert sim.run(until=p) == "caught boom"
+
+
+def test_fail_requires_exception_instance():
+    sim = Simulator()
+    with pytest.raises(TypeError):
+        sim.event().fail("not an exception")
+
+
+def test_process_exception_propagates_through_run():
+    sim = Simulator()
+
+    def bad():
+        yield sim.timeout(1.0)
+        raise RuntimeError("kaput")
+
+    p = sim.process(bad())
+    with pytest.raises(RuntimeError, match="kaput"):
+        sim.run(until=p)
+
+
+def test_yield_none_is_cooperative_same_time_yield():
+    sim = Simulator()
+    trace = []
+
+    def proc():
+        trace.append(sim.now)
+        yield None
+        trace.append(sim.now)
+
+    p = sim.process(proc())
+    sim.run(until=p)
+    assert trace == [0.0, 0.0]
+
+
+def test_interrupt_terminates_uncatching_process():
+    sim = Simulator()
+    log = []
+
+    def victim():
+        log.append("started")
+        yield sim.timeout(100.0)
+        log.append("unreachable")
+
+    def attacker(v):
+        yield sim.timeout(5.0)
+        v.interrupt("hyperlink")
+
+    v = sim.process(victim())
+    sim.process(attacker(v))
+    sim.run(until=v)
+    assert log == ["started"]
+    assert sim.now == pytest.approx(5.0)
+    assert v.triggered
+    # The orphaned 100 s timeout still drains from the queue afterwards.
+    sim.run()
+    assert log == ["started"]
+
+
+def test_interrupt_catchable_with_cause():
+    sim = Simulator()
+
+    def victim():
+        try:
+            yield sim.timeout(100.0)
+        except Interrupt as intr:
+            return ("interrupted", intr.cause, sim.now)
+
+    def attacker(v):
+        yield sim.timeout(2.0)
+        v.interrupt("user-click")
+
+    v = sim.process(victim())
+    sim.process(attacker(v))
+    assert sim.run(until=v) == ("interrupted", "user-click", 2.0)
+
+
+def test_interrupt_finished_process_is_error():
+    sim = Simulator()
+
+    def quick():
+        yield sim.timeout(0.1)
+
+    p = sim.process(quick())
+    sim.run()
+    with pytest.raises(RuntimeError):
+        p.interrupt()
+
+
+def test_anyof_triggers_on_first():
+    sim = Simulator()
+
+    def waiter():
+        t1 = sim.timeout(5.0, "slow")
+        t2 = sim.timeout(1.0, "fast")
+        values = yield AnyOf(sim, [t1, t2])
+        return (sim.now, sorted(values.values()))
+
+    p = sim.process(waiter())
+    assert sim.run(until=p) == (1.0, ["fast"])
+
+
+def test_allof_waits_for_all():
+    sim = Simulator()
+
+    def waiter():
+        t1 = sim.timeout(5.0, "a")
+        t2 = sim.timeout(1.0, "b")
+        values = yield AllOf(sim, [t1, t2])
+        return (sim.now, sorted(values.values()))
+
+    p = sim.process(waiter())
+    assert sim.run(until=p) == (5.0, ["a", "b"])
+
+
+def test_allof_empty_triggers_immediately():
+    sim = Simulator()
+
+    def waiter():
+        values = yield AllOf(sim, [])
+        return values
+
+    p = sim.process(waiter())
+    assert sim.run(until=p) == {}
+
+
+def test_yield_non_event_fails_process():
+    sim = Simulator()
+
+    def bad():
+        yield 42
+
+    p = sim.process(bad())
+    with pytest.raises(TypeError):
+        sim.run(until=p)
+
+
+def test_run_until_event_with_drained_queue_raises():
+    sim = Simulator()
+    ev = sim.event()
+    with pytest.raises(RuntimeError, match="drained"):
+        sim.run(until=ev)
+
+
+def test_peek_reports_next_event_time():
+    sim = Simulator()
+    assert sim.peek() == float("inf")
+    sim.timeout(3.0)
+    sim.timeout(1.0)
+    assert sim.peek() == 1.0  # timeouts enqueue at their fire time
+    sim.run()
+    assert sim.peek() == float("inf")
+
+
+def test_deterministic_replay_of_interleaving():
+    def run_once():
+        sim = Simulator()
+        trace = []
+
+        def ticker(name, period, count):
+            for _ in range(count):
+                yield sim.timeout(period)
+                trace.append((name, round(sim.now, 6)))
+
+        sim.process(ticker("a", 0.3, 10))
+        sim.process(ticker("b", 0.7, 5))
+        sim.run()
+        return trace
+
+    assert run_once() == run_once()

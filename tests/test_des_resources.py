@@ -1,0 +1,144 @@
+"""Unit tests for Store (waitable FIFO)."""
+
+import pytest
+
+from repro.des import QueueFullError, Simulator, Store
+
+
+def test_capacity_must_be_positive():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Store(sim, capacity=0)
+
+
+def test_put_then_get_fifo_order():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def producer():
+        for i in range(5):
+            yield store.put(i)
+
+    def consumer():
+        for _ in range(5):
+            item = yield store.get()
+            got.append(item)
+
+    sim.process(producer())
+    sim.process(consumer())
+    sim.run()
+    assert got == [0, 1, 2, 3, 4]
+
+
+def test_get_blocks_until_put():
+    sim = Simulator()
+    store = Store(sim)
+    arrival_time = []
+
+    def consumer():
+        item = yield store.get()
+        arrival_time.append((item, sim.now))
+
+    def producer():
+        yield sim.timeout(3.0)
+        yield store.put("frame")
+
+    sim.process(consumer())
+    sim.process(producer())
+    sim.run()
+    assert arrival_time == [("frame", 3.0)]
+
+
+def test_put_blocks_at_capacity():
+    sim = Simulator()
+    store = Store(sim, capacity=2)
+    done = []
+
+    def producer():
+        for i in range(3):
+            yield store.put(i)
+            done.append((i, sim.now))
+
+    def consumer():
+        yield sim.timeout(5.0)
+        yield store.get()
+
+    sim.process(producer())
+    sim.process(consumer())
+    sim.run()
+    # Third put only completes once the consumer frees a slot at t=5.
+    assert done == [(0, 0.0), (1, 0.0), (2, 5.0)]
+
+
+def test_put_nowait_raises_when_full():
+    sim = Simulator()
+    store = Store(sim, capacity=1)
+    store.put_nowait("a")
+    with pytest.raises(QueueFullError):
+        store.put_nowait("b")
+
+
+def test_get_nowait_and_peek():
+    sim = Simulator()
+    store = Store(sim)
+    store.put_nowait("x")
+    store.put_nowait("y")
+    assert store.peek() == "x"
+    assert store.get_nowait() == "x"
+    assert store.get_nowait() == "y"
+    with pytest.raises(IndexError):
+        store.get_nowait()
+    with pytest.raises(IndexError):
+        store.peek()
+
+
+def test_level_and_is_full():
+    sim = Simulator()
+    store = Store(sim, capacity=2)
+    assert store.level == 0 and not store.is_full
+    store.put_nowait(1)
+    store.put_nowait(2)
+    assert store.level == 2 and store.is_full
+    assert len(store) == 2
+
+
+def test_waiting_getters_served_in_order():
+    sim = Simulator()
+    store = Store(sim)
+    served = []
+
+    def consumer(name):
+        item = yield store.get()
+        served.append((name, item))
+
+    sim.process(consumer("first"))
+    sim.process(consumer("second"))
+
+    def producer():
+        yield sim.timeout(1.0)
+        yield store.put("a")
+        yield store.put("b")
+
+    sim.process(producer())
+    sim.run()
+    assert served == [("first", "a"), ("second", "b")]
+
+
+def test_get_nowait_unblocks_pending_put():
+    sim = Simulator()
+    store = Store(sim, capacity=1)
+    store.put_nowait("old")
+    put_done = []
+
+    def producer():
+        yield store.put("new")
+        put_done.append(sim.now)
+
+    sim.process(producer())
+    sim.run()
+    assert put_done == []  # still blocked
+    assert store.get_nowait() == "old"
+    sim.run()
+    assert put_done == [0.0]
+    assert store.peek() == "new"

@@ -1,0 +1,60 @@
+"""Smoke tests: every shipped example runs end-to-end.
+
+Examples are documentation; these tests keep them from rotting as the
+library evolves.
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        sys.modules.pop(spec.name, None)
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = run_example("quickstart", capsys)
+    assert "Delivery report" in out
+    assert "startup latency" in out
+    assert "worst intermedia skew" in out
+
+
+def test_distance_education(capsys):
+    out = run_example("distance_education", capsys)
+    assert "available Hermes servers" in out
+    assert "tutor's sequential path: routing-1 -> routing-2 -> routing-3" in out
+    assert "tutor replied" in out
+
+
+def test_adaptive_news_service(capsys):
+    out = run_example("adaptive_news_service", capsys)
+    assert "Per-stream outcome" in out
+    assert "grading decisions" in out
+    assert "degrades" in out
+
+
+def test_virtual_gallery(capsys):
+    out = run_example("virtual_gallery", capsys)
+    assert "resumed-conn" in out
+    assert "tour over" in out
+
+
+def test_service_operator(capsys):
+    out = run_example("service_operator", capsys)
+    assert "Concurrent sessions" in out
+    assert "Admit rates by contract class" in out
+    assert "negotiation" in out

@@ -1,0 +1,89 @@
+"""Unit tests for the HML tokenizer and keyword registry."""
+
+import pytest
+
+from repro.hml import HmlSyntaxError, KEYWORDS, Token, TokenKind, tokenize
+from repro.hml.tokens import (
+    ATTRIBUTE_KEYWORDS,
+    ELEMENT_KEYWORDS,
+    keyword_table_rows,
+)
+
+
+def kinds(tokens):
+    return [t.kind for t in tokens]
+
+
+def test_simple_title_tokens():
+    toks = tokenize("<TITLE> Hello </TITLE>")
+    assert kinds(toks) == [
+        TokenKind.TAG_OPEN, TokenKind.TEXT, TokenKind.TAG_CLOSE, TokenKind.EOF,
+    ]
+    assert toks[0].value == "TITLE"
+    assert toks[1].value.strip() == "Hello"
+    assert toks[2].value == "TITLE"
+
+
+def test_tag_names_case_insensitive():
+    toks = tokenize("<title> x </title>")
+    assert toks[0].value == "TITLE"
+
+
+def test_whitespace_only_text_skipped():
+    toks = tokenize("<PAR>\n   \n<SEP>")
+    assert kinds(toks) == [TokenKind.TAG_OPEN, TokenKind.TAG_OPEN, TokenKind.EOF]
+
+
+def test_unterminated_tag_raises():
+    with pytest.raises(HmlSyntaxError, match="unterminated"):
+        tokenize("<TITLE")
+
+
+def test_empty_tag_raises():
+    with pytest.raises(HmlSyntaxError, match="empty tag"):
+        tokenize("<>")
+    with pytest.raises(HmlSyntaxError, match="empty tag"):
+        tokenize("</ >")
+
+
+def test_unknown_keyword_raises():
+    with pytest.raises(HmlSyntaxError, match="unknown element keyword"):
+        tokenize("<BLINK> x </BLINK>")
+
+
+def test_attribute_keywords_are_not_tags():
+    # SOURCE is an attribute keyword, not an element keyword.
+    with pytest.raises(HmlSyntaxError):
+        tokenize("<SOURCE>")
+
+
+def test_line_numbers_tracked():
+    toks = tokenize("<TITLE> a </TITLE>\n\n<H1> b </H1>")
+    h1 = [t for t in toks if t.kind is TokenKind.TAG_OPEN and t.value == "H1"]
+    assert h1[0].line == 3
+
+
+def test_text_between_tags_preserved_verbatim():
+    toks = tokenize("<TEXT> keep  internal   spacing </TEXT>")
+    assert "keep  internal   spacing" in toks[1].value
+
+
+# ------------------------------------------------------------ registry
+def test_keyword_registry_covers_paper_table1():
+    # Every keyword family named in paper Table 1 is registered.
+    for name in ("TITLE", "H1", "H2", "H3", "PAR", "SEP", "TEXT", "IMG",
+                 "AU", "VI", "SOURCE", "ID", "STARTIME", "DURATION",
+                 "I", "B", "U", "NOTE"):
+        assert name in KEYWORDS, name
+
+
+def test_element_and_attribute_sets_disjoint():
+    assert not (ELEMENT_KEYWORDS & ATTRIBUTE_KEYWORDS)
+    assert ELEMENT_KEYWORDS | ATTRIBUTE_KEYWORDS == set(KEYWORDS)
+
+
+def test_table1_rows_generate():
+    rows = keyword_table_rows()
+    assert ("TITLE", "Document title indicator") in rows
+    assert any("STARTIME" in names for names, _ in rows)
+    assert len(rows) >= 8

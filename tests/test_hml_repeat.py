@@ -1,0 +1,73 @@
+"""Tests for the REPEAT markup extension (§7 future work)."""
+
+import pytest
+
+from repro.core import ServiceEngine
+from repro.hml import (
+    DocumentBuilder,
+    HmlSyntaxError,
+    parse,
+    serialize,
+    validate_document,
+)
+from repro.model import build_playout_schedule, scenario_duration
+
+
+def test_parse_and_roundtrip_repeat():
+    doc = parse(
+        "<TITLE> t </TITLE>"
+        "<AU> STARTIME=0 DURATION=2 REPEAT=3 SOURCE=s ID=A </AU>"
+        "<VI> STARTIME=1 DURATION=4 SOURCE=s2 ID=V </VI>"
+    )
+    au = doc.elements[0]
+    assert au.repeat == 3
+    assert doc.elements[1].repeat == 1
+    assert "REPEAT=3" in serialize(doc)
+    assert parse(serialize(doc)) == doc
+
+
+def test_repeat_default_not_serialized():
+    doc = DocumentBuilder("t").audio("s", "A", duration=2.0).build()
+    assert "REPEAT" not in serialize(doc)
+
+
+def test_repeat_validation_rules():
+    bad = parse("<TITLE> t </TITLE>"
+                "<AU> DURATION=2 SOURCE=s ID=A </AU>")
+    assert not [i for i in validate_document(bad) if i.is_error]
+    with pytest.raises(HmlSyntaxError, match="REPEAT must be"):
+        parse("<TITLE> t </TITLE>"
+              "<AU> DURATION=2 REPEAT=0 SOURCE=s ID=A </AU>")
+    # repeat without duration is a semantic error
+    doc = DocumentBuilder("t").audio("s", "A", repeat=3).build()
+    codes = {i.code for i in validate_document(doc)}
+    assert "repeat-without-duration" in codes
+
+
+def test_repeat_extends_playout_schedule():
+    doc = (
+        DocumentBuilder("t")
+        .audio("s:/loop.au", "A", startime=0.0, duration=2.0, repeat=4)
+        .image("s:/bg.gif", "I", startime=0.0, duration=8.0)
+        .build()
+    )
+    entries = build_playout_schedule(doc)
+    by_id = {e.stream_id: e for e in entries}
+    assert by_id["A"].duration == 8.0  # 4 x 2 s loop
+    assert scenario_duration(entries) == 8.0
+
+
+def test_repeat_end_to_end_delivery():
+    """A looped audio plays for repeat x duration through the stack."""
+    doc = (
+        DocumentBuilder("Looping")
+        .audio("audsrv:/jingle.au", "JINGLE", startime=0.0,
+               duration=1.0, repeat=3)
+        .build()
+    )
+    eng = ServiceEngine()
+    eng.add_server("srv1", documents={"doc": (serialize(doc), "x")})
+    result = eng.run_full_session("srv1", "doc")
+    assert result.completed
+    # ~3 s of audio at 50 frames/s.
+    assert result.streams["JINGLE"].frames_played == pytest.approx(150, abs=5)

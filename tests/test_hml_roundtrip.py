@@ -1,0 +1,124 @@
+"""Serializer round-trip tests (unit + property-based)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hml import (
+    DocumentBuilder,
+    LinkKind,
+    TextSpan,
+    parse,
+    serialize,
+)
+from repro.hml.examples import Figure2Times, figure2_document, figure2_markup
+
+
+def test_roundtrip_figure2():
+    doc = figure2_document()
+    assert parse(serialize(doc)) == doc
+
+
+def test_figure2_markup_helper():
+    text = figure2_markup(Figure2Times(d_i1=3.0))
+    doc = parse(text)
+    assert doc.title == "Figure 2 scenario"
+    img1 = doc.media_elements()[0]
+    assert img1.duration == 3.0
+
+
+def test_roundtrip_all_element_kinds():
+    doc = (
+        DocumentBuilder("Everything")
+        .heading(1, "h one")
+        .heading(2, "h two")
+        .heading(3, "h three")
+        .paragraph()
+        .separator()
+        .text("plain", TextSpan("bold", bold=True),
+              TextSpan("fancy", italic=True, underline=True))
+        .image("s:/i.gif", "I1", startime=1.5, duration=2.5, width=10,
+               height=20, where=(3, 4), note="img note")
+        .audio("s:/a.au", "A1", startime=0.25, duration=1.0)
+        .video("s:/v.mpg", "V1", startime=0.5, duration=2.0, note="vid")
+        .audio_video("s:/a2.au", "s:/v2.mpg", "A2", "V2", startime=3.0,
+                     duration=4.0, note="pair")
+        .hyperlink("next-doc", at_time=10.0, note="auto")
+        .hyperlink("branch", kind=LinkKind.EXPLORATIONAL)
+        .hyperlink("forced", kind=LinkKind.EXPLORATIONAL, at_time=99.0)
+        .build()
+    )
+    assert parse(serialize(doc)) == doc
+
+
+# ----------------------------------------------------------- hypothesis
+_ident = st.text(
+    alphabet=st.characters(whitelist_categories=("Lu", "Ll", "Nd")),
+    min_size=1, max_size=8,
+).map(lambda s: "x" + s)
+
+_words = st.text(
+    alphabet=st.characters(
+        whitelist_categories=("Lu", "Ll", "Nd"), whitelist_characters=" .!?",
+    ),
+    min_size=1, max_size=30,
+).filter(lambda s: s.strip() and "<" not in s and ">" not in s)
+
+_time = st.floats(min_value=0.0, max_value=1000.0).map(
+    lambda x: float(f"{x:g}")
+)
+_dur = st.one_of(
+    st.none(),
+    st.floats(min_value=0.01, max_value=500.0).map(lambda x: float(f"{x:g}")),
+)
+
+
+@st.composite
+def documents(draw):
+    b = DocumentBuilder(draw(_words).strip())
+    n = draw(st.integers(min_value=0, max_value=8))
+    counter = 0
+    for _ in range(n):
+        choice = draw(st.integers(0, 6))
+        counter += 1
+        if choice == 0:
+            b.heading(draw(st.integers(1, 3)), draw(_words).strip())
+        elif choice == 1:
+            b.paragraph()
+        elif choice == 2:
+            b.text(
+                TextSpan(
+                    draw(_words).strip(),
+                    bold=draw(st.booleans()),
+                    italic=draw(st.booleans()),
+                    underline=draw(st.booleans()),
+                )
+            )
+        elif choice == 3:
+            b.image(f"s:/i{counter}.gif", f"I{counter}",
+                    startime=draw(_time), duration=draw(_dur))
+        elif choice == 4:
+            dur = draw(_dur)
+            b.audio(f"s:/a{counter}.au", f"A{counter}",
+                    startime=draw(_time), duration=dur,
+                    repeat=draw(st.integers(1, 4)) if dur is not None else 1)
+        elif choice == 5:
+            b.audio_video(f"s:/a{counter}.au", f"s:/v{counter}.mpg",
+                          f"A{counter}", f"V{counter}",
+                          startime=draw(_time), duration=draw(_dur))
+        else:
+            b.hyperlink(f"doc-{counter}",
+                        at_time=draw(st.one_of(st.none(), _time)))
+    return b.build()
+
+
+@settings(max_examples=60, deadline=None)
+@given(documents())
+def test_property_serialize_parse_roundtrip(doc):
+    assert parse(serialize(doc)) == doc
+
+
+@settings(max_examples=30, deadline=None)
+@given(documents())
+def test_property_serialize_is_stable(doc):
+    text = serialize(doc)
+    assert serialize(parse(text)) == text

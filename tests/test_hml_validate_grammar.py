@@ -1,0 +1,126 @@
+"""Tests for semantic validation and the grammar production table."""
+
+from repro.hml import DocumentBuilder, validate_document
+from repro.hml.ast import AudioVideoElement, HyperLink, LinkKind
+from repro.hml.examples import figure2_document
+from repro.hml.grammar import (
+    GRAMMAR_PRODUCTIONS,
+    grammar_text,
+    nonterminals,
+    terminals,
+)
+from repro.hml.tokens import KEYWORDS
+
+
+def errors(issues):
+    return [i for i in issues if i.is_error]
+
+
+def codes(issues):
+    return {i.code for i in issues}
+
+
+def test_figure2_document_is_valid():
+    assert not errors(validate_document(figure2_document()))
+
+
+def test_duplicate_ids_detected():
+    doc = (
+        DocumentBuilder("t")
+        .image("s:/a.gif", "X", duration=1.0)
+        .audio("s:/b.au", "X", duration=1.0)
+        .build()
+    )
+    assert "duplicate-id" in codes(validate_document(doc))
+
+
+def test_avsync_start_mismatch_detected():
+    doc = DocumentBuilder("t").build()
+    doc.elements.append(
+        AudioVideoElement(
+            audio_source="a", video_source="v", audio_id="A", video_id="V",
+            audio_startime=1.0, video_startime=2.0, duration=5.0,
+        )
+    )
+    assert "avsync-startime" in codes(validate_document(doc))
+
+
+def test_negative_times_detected():
+    doc = DocumentBuilder("t").audio("s", "A", startime=-1.0, duration=1.0).build()
+    assert "negative-startime" in codes(validate_document(doc))
+    doc2 = DocumentBuilder("t").audio("s", "A", duration=-5.0).build()
+    assert "bad-duration" in codes(validate_document(doc2))
+
+
+def test_open_duration_warns_not_errors():
+    doc = DocumentBuilder("t").audio("s", "A").build()
+    issues = validate_document(doc)
+    assert not errors(issues)
+    assert "open-duration" in codes(issues)
+
+
+def test_multiple_timed_links_detected():
+    doc = (
+        DocumentBuilder("t")
+        .hyperlink("a", at_time=1.0)
+        .hyperlink("b", at_time=2.0)
+        .build()
+    )
+    assert "multiple-timed-links" in codes(validate_document(doc))
+
+
+def test_early_timed_link_warns():
+    doc = (
+        DocumentBuilder("t")
+        .video("s", "V", startime=0.0, duration=60.0)
+        .hyperlink("next", at_time=10.0)
+        .build()
+    )
+    issues = validate_document(doc)
+    assert "early-timed-link" in codes(issues)
+    assert not errors(issues)
+
+
+def test_empty_link_target_detected():
+    doc = DocumentBuilder("t").build()
+    doc.elements.append(HyperLink(target="  ", kind=LinkKind.EXPLORATIONAL))
+    assert "empty-link-target" in codes(validate_document(doc))
+
+
+# ----------------------------------------------------------------- grammar
+def test_every_referenced_nonterminal_is_defined():
+    defined = nonterminals()
+    for lhs, alts in GRAMMAR_PRODUCTIONS:
+        for alt in alts:
+            for sym in alt.split():
+                if sym.startswith("<") and sym.endswith(">"):
+                    assert sym in defined, f"{sym} referenced in {lhs} undefined"
+
+
+def test_grammar_terminals_covered_by_keyword_registry():
+    """Every grammar terminal maps to a registered keyword.
+
+    END_X terminals are the closing-tag forms of X; STRING,
+    PARAGRAPH and SEPARATOR are the lexical/void-tag forms.
+    """
+    special = {"STRING", "PARAGRAPH", "SEPARATOR"}
+    for term in terminals():
+        if term in special or term.startswith("/*"):
+            continue
+        base = term[4:] if term.startswith("END_") else term
+        assert base in KEYWORDS, f"grammar terminal {term} has no keyword"
+
+
+def test_grammar_text_matches_figure1_shape():
+    text = grammar_text()
+    assert text.splitlines()[0].startswith("<Hdocument>")
+    assert "::=" in text
+    assert "<Au_ViOptions>" in text
+    assert "SYNC" not in text  # symbolic names only
+    # One ::= per production.
+    assert text.count("::=") == len(GRAMMAR_PRODUCTIONS)
+
+
+def test_grammar_has_paper_production_count():
+    # Figure 1 defines 36 productions (including the dangling <Next>).
+    assert len(GRAMMAR_PRODUCTIONS) == 36

@@ -1,0 +1,118 @@
+"""Unit tests for codecs and quality-grade ladders."""
+
+import pytest
+
+from repro.media import (
+    AUDIO_LADDER,
+    SUSPENDED,
+    VIDEO_LADDER,
+    Codec,
+    CodecRegistry,
+    MediaType,
+    QualityGrade,
+    default_registry,
+)
+
+
+def test_ladders_are_monotone_in_rate_and_quality():
+    for ladder in (VIDEO_LADDER, AUDIO_LADDER):
+        rates = [g.bitrate_bps for g in ladder]
+        scores = [g.quality_score for g in ladder]
+        assert rates == sorted(rates, reverse=True)
+        assert scores == sorted(scores, reverse=True)
+
+
+def test_audio_ladder_matches_paper_standards():
+    # PCM 64 kb/s -> ADPCM 32 kb/s -> VADPCM 16 kb/s (paper Figure 5).
+    assert [g.bitrate_bps for g in AUDIO_LADDER] == [64_000, 32_000, 16_000]
+    assert [g.label for g in AUDIO_LADDER] == [
+        "audio/pcm", "audio/adpcm", "audio/vadpcm",
+    ]
+
+
+def test_grade_lookup_and_suspend_sentinel():
+    reg = default_registry()
+    mpeg = reg.get("MPEG")
+    assert mpeg.grade(0) is VIDEO_LADDER[0]
+    assert mpeg.grade(len(VIDEO_LADDER)) is SUSPENDED
+    assert mpeg.grade(SUSPENDED.index) is SUSPENDED
+    with pytest.raises(IndexError):
+        mpeg.grade(-1)
+
+
+def test_degrade_walks_ladder_then_suspends():
+    mpeg = default_registry().get("MPEG")
+    g = 0
+    seen = []
+    for _ in range(len(VIDEO_LADDER) + 2):
+        seen.append(g)
+        g = mpeg.degrade(g)
+    # One step past the ladder is the suspend state; it clamps there.
+    assert seen == [0, 1, 2, 3, 4, 5, 5]
+    assert mpeg.grade(5) is SUSPENDED
+
+
+def test_upgrade_from_suspend_reenters_at_worst_rung():
+    mpeg = default_registry().get("MPEG")
+    suspended = len(VIDEO_LADDER)  # first out-of-ladder index
+    assert mpeg.upgrade(suspended) == len(VIDEO_LADDER) - 1
+    assert mpeg.upgrade(0) == 0
+    assert mpeg.upgrade(2) == 1
+
+
+def test_grade_frame_geometry():
+    g = VIDEO_LADDER[0]
+    assert g.frame_interval_s == pytest.approx(0.04)
+    assert g.mean_frame_bytes == pytest.approx(1_500_000 / 8 / 25)
+    assert SUSPENDED.frame_interval_s == float("inf")
+    assert SUSPENDED.mean_frame_bytes == 0.0
+
+
+def test_quality_grade_validation():
+    with pytest.raises(ValueError):
+        QualityGrade(0, "bad", -1, 25.0, 0.5)
+    with pytest.raises(ValueError):
+        QualityGrade(0, "bad", 100, 25.0, 1.5)
+
+
+def test_codec_validation():
+    with pytest.raises(ValueError):
+        Codec("x", MediaType.VIDEO, clock_rate=0, ladder=VIDEO_LADDER, payload_type=1)
+    with pytest.raises(ValueError):
+        Codec("x", MediaType.VIDEO, clock_rate=90000, ladder=(), payload_type=1)
+    # Bitrates must be non-increasing down the ladder.
+    bad = (
+        QualityGrade(0, "a", 100, 25.0, 0.5),
+        QualityGrade(1, "b", 200, 25.0, 0.4),
+    )
+    with pytest.raises(ValueError):
+        Codec("x", MediaType.VIDEO, clock_rate=90000, ladder=bad, payload_type=1)
+
+
+def test_registry_defaults_and_errors():
+    reg = default_registry()
+    assert reg.default_for(MediaType.VIDEO).name == "MPEG"
+    assert reg.default_for(MediaType.AUDIO).name == "PCM-family"
+    assert "AVI" in reg
+    assert reg.names() == ["AVI", "MPEG", "PCM-family"]
+    with pytest.raises(KeyError):
+        reg.get("H264")
+    with pytest.raises(KeyError):
+        reg.default_for(MediaType.TEXT)
+    with pytest.raises(ValueError):
+        reg.register(reg.get("MPEG"))
+
+
+def test_fresh_registry_default_is_first_registered():
+    reg = CodecRegistry()
+    c = Codec("only", MediaType.AUDIO, clock_rate=8000, ladder=AUDIO_LADDER,
+              payload_type=9)
+    reg.register(c)
+    assert reg.default_for(MediaType.AUDIO) is c
+
+
+def test_avi_is_double_rate_mpeg():
+    reg = default_registry()
+    mpeg, avi = reg.get("MPEG"), reg.get("AVI")
+    for gm, ga in zip(mpeg.ladder, avi.ladder):
+        assert ga.bitrate_bps == 2 * gm.bitrate_bps

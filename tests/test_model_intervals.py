@@ -1,0 +1,84 @@
+"""Unit + property tests for the Allen interval algebra."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hml.examples import Figure2Times, figure2_document
+from repro.model import build_playout_schedule
+from repro.model.intervals import (
+    AllenRelation as R,
+    inverse,
+    relation,
+    schedule_relations,
+)
+
+
+@pytest.mark.parametrize(
+    "x,y,expected",
+    [
+        ((0, 1), (2, 3), R.BEFORE),
+        ((2, 3), (0, 1), R.AFTER),
+        ((0, 1), (1, 2), R.MEETS),
+        ((1, 2), (0, 1), R.MET_BY),
+        ((0, 2), (1, 3), R.OVERLAPS),
+        ((1, 3), (0, 2), R.OVERLAPPED_BY),
+        ((0, 1), (0, 2), R.STARTS),
+        ((0, 2), (0, 1), R.STARTED_BY),
+        ((1, 2), (0, 3), R.DURING),
+        ((0, 3), (1, 2), R.CONTAINS),
+        ((1, 2), (0, 2), R.FINISHES),
+        ((0, 2), (1, 2), R.FINISHED_BY),
+        ((0, 1), (0, 1), R.EQUAL),
+    ],
+)
+def test_all_thirteen_relations(x, y, expected):
+    assert relation(x[0], x[1], y[0], y[1]) is expected
+
+
+def test_degenerate_interval_rejected():
+    with pytest.raises(ValueError):
+        relation(1, 1, 0, 2)
+
+
+def test_inverse_table_complete():
+    for rel in R:
+        assert inverse(inverse(rel)) is rel
+    assert inverse(R.EQUAL) is R.EQUAL
+    assert inverse(R.BEFORE) is R.AFTER
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    xs=st.floats(0, 100), xd=st.floats(0.01, 50),
+    ys=st.floats(0, 100), yd=st.floats(0.01, 50),
+)
+def test_property_relation_and_inverse_consistent(xs, xd, ys, yd):
+    fwd = relation(xs, xs + xd, ys, ys + yd)
+    back = relation(ys, ys + yd, xs, xs + xd)
+    assert back is inverse(fwd)
+
+
+def test_figure2_schedule_relations():
+    """Independent temporal oracle for the Figure 2 scenario."""
+    t = Figure2Times()
+    entries = build_playout_schedule(figure2_document(t))
+    rels = schedule_relations(entries)
+    assert rels[("A1", "V")] is R.EQUAL  # the synchronized pair
+    assert rels[("I1", "I2")] is R.MEETS  # I2 right after I1
+    assert rels[("A1", "A2")] is R.BEFORE  # A2 plays after A1 ends
+    # A1/V (4..12) overlaps I2 (6..16).
+    assert rels[("A1", "I2")] is R.OVERLAPS
+
+
+def test_open_ended_entries_skipped():
+    from repro.hml import DocumentBuilder
+
+    doc = (
+        DocumentBuilder("t")
+        .audio("s", "A")  # open-ended
+        .audio("s2", "B", startime=0.0, duration=2.0)
+        .build()
+    )
+    rels = schedule_relations(build_playout_schedule(doc))
+    assert rels == {}

@@ -1,0 +1,222 @@
+"""Tests for QoS negotiation at admission (§4)."""
+
+import pytest
+
+from repro.des import Simulator
+from repro.hml import DocumentBuilder, serialize
+from repro.media import default_registry
+from repro.net import Network
+from repro.server import (
+    AccountRegistry,
+    AdmissionController,
+    AdmissionRequest,
+    CONTRACT_CLASSES,
+    FlowScheduler,
+    MultimediaDatabase,
+    MultimediaServer,
+)
+from repro.server.accounts import SubscriptionForm
+from repro.service import ClientSession, ControlChannel, ServerSessionHandler
+
+BASIC = CONTRACT_CLASSES["basic"]
+
+
+def req(sid, bw, min_bw=None):
+    return AdmissionRequest(session_id=sid, user_id=f"u{sid}",
+                            contract=BASIC, required_bw_bps=bw,
+                            min_bw_bps=min_bw)
+
+
+# ------------------------------------------------------------ controller
+def test_partial_admission_when_floor_fits():
+    c = AdmissionController(10e6, open_fraction=1.0)
+    assert c.decide(req("s1", 8e6)).admitted
+    r = c.decide(req("s2", 4e6, min_bw=1e6))
+    assert r.admitted and r.negotiated
+    assert r.reserved_bw_bps == pytest.approx(2e6)  # the headroom
+    assert r.grant_ratio == pytest.approx(0.5)
+    assert "negotiated" in r.reason
+    assert c.utilisation == pytest.approx(1.0)
+
+
+def test_rejection_when_floor_does_not_fit():
+    c = AdmissionController(10e6, open_fraction=1.0)
+    c.decide(req("s1", 9.5e6))
+    r = c.decide(req("s2", 4e6, min_bw=1e6))
+    assert not r.admitted
+    assert not r.negotiated
+
+
+def test_full_admission_not_marked_negotiated():
+    c = AdmissionController(10e6, open_fraction=1.0)
+    r = c.decide(req("s1", 2e6, min_bw=1e6))
+    assert r.admitted and not r.negotiated
+    assert r.grant_ratio == 1.0
+
+
+def test_min_bw_validation():
+    with pytest.raises(ValueError):
+        req("s", 2e6, min_bw=3e6)  # floor above request
+    with pytest.raises(ValueError):
+        req("s", 2e6, min_bw=0.0)
+
+
+def test_release_returns_negotiated_reservation():
+    c = AdmissionController(10e6, open_fraction=1.0)
+    c.decide(req("s1", 8e6))
+    c.decide(req("s2", 4e6, min_bw=1e6))  # granted 2e6
+    c.release("s2")
+    assert c.reserved_bps == pytest.approx(8e6)
+
+
+# ------------------------------------------------------ renegotiation
+def test_shrinking_existing_sessions_admits_newcomer():
+    """[KRI 94]: renegotiate live negotiable sessions down to their
+    floors to fit a newcomer."""
+    regrants = []
+    c = AdmissionController(10e6, open_fraction=1.0,
+                            on_regrant=lambda s, bw: regrants.append((s, bw)))
+    # Two negotiable sessions fill the pipe at full quality.
+    assert c.decide(req("s1", 5e6, min_bw=2e6)).admitted
+    assert c.decide(req("s2", 5e6, min_bw=2e6)).admitted
+    assert c.utilisation == pytest.approx(1.0)
+    # A third (floor 2 Mb/s) fits only by shrinking the first two.
+    r = c.decide(req("s3", 5e6, min_bw=2e6))
+    assert r.admitted and r.negotiated
+    assert r.reserved_bw_bps == pytest.approx(2e6)
+    assert c.granted_bps("s1") + c.granted_bps("s2") == pytest.approx(8e6)
+    assert c.granted_bps("s1") == pytest.approx(4e6)  # proportional
+    assert c.utilisation == pytest.approx(1.0)
+    assert regrants and all(bw < 5e6 for _, bw in regrants)
+    assert c.renegotiations == 2
+
+
+def test_fixed_sessions_never_shrunk():
+    c = AdmissionController(10e6, open_fraction=1.0)
+    c.decide(req("fixed", 8e6))  # no floor: not negotiable
+    r = c.decide(req("new", 5e6, min_bw=3e6))
+    assert not r.admitted  # only 2 Mb/s headroom, nothing shrinkable
+    assert c.granted_bps("fixed") == pytest.approx(8e6)
+
+
+def test_departure_reexpands_shrunk_sessions():
+    regrants = []
+    c = AdmissionController(10e6, open_fraction=1.0,
+                            on_regrant=lambda s, bw: regrants.append((s, bw)))
+    c.decide(req("s1", 5e6, min_bw=2e6))
+    c.decide(req("s2", 5e6, min_bw=2e6))
+    c.decide(req("s3", 5e6, min_bw=2e6))  # shrinks s1/s2 to 4e6
+    regrants.clear()
+    c.release("s3")  # frees 2e6: s1/s2 expand back toward 5e6
+    assert c.granted_bps("s1") == pytest.approx(5e6)
+    assert c.granted_bps("s2") == pytest.approx(5e6)
+    assert {s for s, _ in regrants} == {"s1", "s2"}
+
+
+def test_newcomer_floor_beyond_all_slack_rejected():
+    c = AdmissionController(10e6, open_fraction=1.0)
+    c.decide(req("s1", 5e6, min_bw=4e6))
+    c.decide(req("s2", 5e6, min_bw=4e6))
+    # Slack = 2e6, headroom 0; floor 3e6 cannot be met.
+    r = c.decide(req("s3", 5e6, min_bw=3e6))
+    assert not r.admitted
+    assert c.granted_bps("s1") == pytest.approx(5e6)  # untouched
+
+
+def test_granted_bps_unknown_session():
+    c = AdmissionController(10e6)
+    with pytest.raises(KeyError):
+        c.granted_bps("nope")
+
+
+# ------------------------------------------------------------ grade map
+def test_grade_for_ratio_mapping():
+    video = default_registry().get("MPEG")  # 1.5/1.0/0.75/0.5/0.25 Mb/s
+    assert FlowScheduler.grade_for_ratio(video, 1.0) == 0
+    assert FlowScheduler.grade_for_ratio(video, 0.70) == 1  # fits 1.0M
+    assert FlowScheduler.grade_for_ratio(video, 0.5) == 2
+    assert FlowScheduler.grade_for_ratio(video, 0.35) == 3
+    assert FlowScheduler.grade_for_ratio(video, 0.05) == 4  # deepest rung
+
+
+# ------------------------------------------------------------ protocol
+def build_service(capacity):
+    sim = Simulator()
+    net = Network(sim)
+    net.add_node("client")
+    net.add_node("host:srv1")
+    net.add_duplex_link("client", "host:srv1", 20e6, 0.005)
+    db = MultimediaDatabase()
+    doc = (DocumentBuilder("AV")
+           .audio_video("audsrv:/a.au", "vidsrv:/v.mpg", "A", "V",
+                        startime=0.0, duration=4.0)
+           .build())
+    db.add_document("doc", doc)
+    server = MultimediaServer(
+        sim, "srv1", "host:srv1", db, AccountRegistry(),
+        default_registry(), {},
+        admission=AdmissionController(capacity, open_fraction=1.0),
+    )
+    channel = ControlChannel(net, "client", "host:srv1", base_port=10_000)
+    handler = ServerSessionHandler(server, channel.server, "sess-1", "client")
+    client = ClientSession(sim, channel.client, "u", "pw")
+    return sim, server, client, handler
+
+
+def test_negotiated_connect_over_protocol():
+    sim, server, client, handler = build_service(capacity=1e6)
+
+    def script():
+        resp = yield from client.connect(required_bw_bps=2e6,
+                                         min_bw_bps=0.5e6)
+        if resp.msg_type == "subscribe-required":
+            resp = yield from client.subscribe(
+                SubscriptionForm(real_name="U", address="x",
+                                 email="u@e.org"),
+                required_bw_bps=2e6, min_bw_bps=0.5e6)
+        return resp
+
+    proc = sim.process(script())
+    resp = sim.run(until=proc)
+    assert resp.msg_type == "connect-ok"
+    assert resp.body["negotiated"] is True
+    assert resp.body["granted_bw_bps"] == pytest.approx(1e6)
+    assert server.sessions["sess-1"].grant_ratio == pytest.approx(0.5)
+
+
+def test_without_floor_same_load_is_rejected():
+    sim, server, client, handler = build_service(capacity=1e6)
+
+    def script():
+        resp = yield from client.connect(required_bw_bps=2e6)
+        if resp.msg_type == "subscribe-required":
+            resp = yield from client.subscribe(
+                SubscriptionForm(real_name="U", address="x",
+                                 email="u@e.org"), required_bw_bps=2e6)
+        return resp
+
+    proc = sim.process(script())
+    resp = sim.run(until=proc)
+    assert resp.msg_type == "connect-reject"
+
+
+def test_negotiated_session_plans_degraded_flows():
+    sim, server, client, handler = build_service(capacity=1e6)
+
+    def script():
+        resp = yield from client.connect(required_bw_bps=2e6,
+                                         min_bw_bps=0.5e6)
+        if resp.msg_type == "subscribe-required":
+            resp = yield from client.subscribe(
+                SubscriptionForm(real_name="U", address="x",
+                                 email="u@e.org"),
+                required_bw_bps=2e6, min_bw_bps=0.5e6)
+        yield from client.request_document("doc")
+
+    proc = sim.process(script())
+    sim.run(until=proc)
+    flow = server.plan_flows("sess-1", "doc")
+    video = next(f for f in flow.continuous() if f.stream_id == "V")
+    # grant_ratio 0.5 -> video starts at grade 2 (0.75 Mb/s).
+    assert video.initial_grade == 2
+    assert video.nominal_rate_bps == 750_000

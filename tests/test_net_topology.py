@@ -1,0 +1,181 @@
+"""Unit tests for links, routing and packet delivery."""
+
+import pytest
+
+from repro.des import RngRegistry, Simulator
+from repro.net import GilbertElliottLoss, Network, Packet
+
+
+def simple_net(rate=1_000_000, delay=0.01, queue=100):
+    sim = Simulator()
+    net = Network(sim)
+    for n in ("a", "b"):
+        net.add_node(n)
+    net.add_duplex_link("a", "b", rate_bps=rate, delay_s=delay, queue_packets=queue)
+    return sim, net
+
+
+def test_single_hop_delivery_time():
+    sim, net = simple_net(rate=1_000_000, delay=0.01)
+    got = []
+    net.node("b").bind(5000, lambda p: got.append((sim.now, p)))
+    pkt = Packet(src="a", dst="b", size_bytes=1250, protocol="UDP",
+                 flow_id="f", dst_port=5000)
+    net.send(pkt)
+    sim.run()
+    # 1250 B at 1 Mb/s = 10 ms serialization + 10 ms propagation.
+    assert len(got) == 1
+    assert got[0][0] == pytest.approx(0.020, abs=1e-9)
+
+
+def test_multi_hop_forwarding():
+    sim = Simulator()
+    net = Network(sim)
+    for n in ("a", "r1", "r2", "b"):
+        net.add_node(n)
+    net.add_duplex_link("a", "r1", 10e6, 0.001)
+    net.add_duplex_link("r1", "r2", 10e6, 0.002)
+    net.add_duplex_link("r2", "b", 10e6, 0.003)
+    got = []
+    net.node("b").bind(1, lambda p: got.append((sim.now, p.hops)))
+    net.send(Packet(src="a", dst="b", size_bytes=1000, protocol="UDP",
+                    flow_id="f", dst_port=1))
+    sim.run()
+    assert len(got) == 1
+    assert got[0][1] == 3
+    # 3 serializations of 0.8 ms + 6 ms propagation.
+    assert got[0][0] == pytest.approx(3 * 0.0008 + 0.006, abs=1e-9)
+
+
+def test_routing_prefers_low_delay_path():
+    sim = Simulator()
+    net = Network(sim)
+    for n in ("a", "fast", "slow", "b"):
+        net.add_node(n)
+    net.add_duplex_link("a", "fast", 10e6, 0.001)
+    net.add_duplex_link("fast", "b", 10e6, 0.001)
+    net.add_duplex_link("a", "slow", 10e6, 0.050)
+    net.add_duplex_link("slow", "b", 10e6, 0.050)
+    assert net.path("a", "b") == ["a", "fast", "b"]
+
+
+def test_queue_overflow_drops_and_taps():
+    sim, net = simple_net(rate=100_000, delay=0.0, queue=2)
+    got = []
+    net.node("b").bind(1, lambda p: got.append(p.seq))
+    # Inject 10 packets back-to-back at t=0; queue holds 2.
+    for i in range(10):
+        net.send(Packet(src="a", dst="b", size_bytes=1000, protocol="UDP",
+                        flow_id="f", dst_port=1, seq=i))
+    sim.run()
+    link = net.link("a", "b")
+    assert link.stats.queue_drops > 0
+    assert len(got) + link.stats.queue_drops == 10
+    drops = net.tap.drops()
+    assert len(drops) == link.stats.queue_drops
+    assert all(r.event == "drop-queue" for r in drops)
+
+
+def test_fifo_ordering_preserved():
+    sim, net = simple_net()
+    got = []
+    net.node("b").bind(1, lambda p: got.append(p.seq))
+    for i in range(20):
+        net.send(Packet(src="a", dst="b", size_bytes=500, protocol="UDP",
+                        flow_id="f", dst_port=1, seq=i))
+    sim.run()
+    assert got == list(range(20))
+
+
+def test_loopback_delivery():
+    sim, net = simple_net()
+    got = []
+    net.node("a").bind(7, lambda p: got.append(p))
+    net.send(Packet(src="a", dst="a", size_bytes=100, protocol="UDP",
+                    flow_id="f", dst_port=7))
+    assert len(got) == 1  # immediate, no sim.run needed
+
+
+def test_unbound_port_discards_silently():
+    sim, net = simple_net()
+    net.send(Packet(src="a", dst="b", size_bytes=100, protocol="UDP",
+                    flow_id="f", dst_port=404))
+    sim.run()
+    assert net.node("b").rx_packets == 1  # received, no handler
+
+
+def test_gilbert_elliott_loss_on_link():
+    sim = Simulator()
+    net = Network(sim)
+    net.add_node("a")
+    net.add_node("b")
+    rng = RngRegistry(seed=11).stream("ge")
+    ge = GilbertElliottLoss(rng, p_gb=0.5, p_bg=0.5, loss_bad=1.0, loss_good=0.0)
+    net.add_link("a", "b", 10e6, 0.001, loss_model=ge)
+    got = []
+    net.node("b").bind(1, lambda p: got.append(p.seq))
+
+    def sender():
+        for i in range(400):
+            net.send(Packet(src="a", dst="b", size_bytes=500, protocol="UDP",
+                            flow_id="f", dst_port=1, seq=i))
+            yield sim.timeout(0.01)
+
+    sim.process(sender())
+    sim.run()
+    link = net.link("a", "b")
+    assert link.stats.loss_drops > 0
+    assert len(got) + link.stats.loss_drops == 400
+    # Stationary loss is ~50%; allow generous tolerance.
+    assert 0.3 < link.stats.loss_drops / 400 < 0.7
+
+
+def test_tap_aggregates_by_protocol():
+    sim, net = simple_net()
+    net.node("b").bind(1, lambda p: None)
+    net.send(Packet(src="a", dst="b", size_bytes=100, protocol="RTP",
+                    flow_id="f1", dst_port=1))
+    net.send(Packet(src="a", dst="b", size_bytes=200, protocol="TCP",
+                    flow_id="f2", dst_port=1))
+    sim.run()
+    assert net.tap.bytes_by_protocol == {"RTP": 100, "TCP": 200}
+    assert net.tap.protocols_for_flow("f1") == {"RTP"}
+
+
+def test_duplicate_node_and_link_rejected():
+    sim = Simulator()
+    net = Network(sim)
+    net.add_node("a")
+    with pytest.raises(ValueError):
+        net.add_node("a")
+    net.add_node("b")
+    net.add_link("a", "b", 1e6, 0.01)
+    with pytest.raises(ValueError):
+        net.add_link("a", "b", 1e6, 0.01)
+    with pytest.raises(KeyError):
+        net.add_link("a", "zzz", 1e6, 0.01)
+
+
+def test_send_to_unknown_node_rejected():
+    sim, net = simple_net()
+    with pytest.raises(KeyError):
+        net.send(Packet(src="zzz", dst="b", size_bytes=1, protocol="UDP",
+                        flow_id="f", dst_port=1))
+
+
+def test_link_utilisation_counter():
+    sim, net = simple_net(rate=1_000_000)
+    net.node("b").bind(1, lambda p: None)
+    for i in range(5):
+        net.send(Packet(src="a", dst="b", size_bytes=1250, protocol="UDP",
+                        flow_id="f", dst_port=1, seq=i))
+    sim.run()
+    link = net.link("a", "b")
+    assert link.stats.tx_packets == 5
+    assert link.stats.busy_time == pytest.approx(5 * 0.01)
+
+
+def test_packet_validation():
+    with pytest.raises(ValueError):
+        Packet(src="a", dst="b", size_bytes=0, protocol="UDP",
+               flow_id="f", dst_port=1)

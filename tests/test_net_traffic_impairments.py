@@ -1,0 +1,104 @@
+"""Unit tests for traffic sources and the Gilbert–Elliott model."""
+
+import pytest
+
+from repro.des import RngRegistry, Simulator
+from repro.net import (
+    GilbertElliottLoss,
+    Network,
+    OnOffTrafficSource,
+    PoissonTrafficSource,
+)
+
+
+def build_net():
+    sim = Simulator()
+    net = Network(sim)
+    net.add_node("x")
+    net.add_node("y")
+    net.add_duplex_link("x", "y", 10e6, 0.001, queue_packets=10_000)
+    return sim, net
+
+
+def test_poisson_rate_on_target():
+    sim, net = build_net()
+    rng = RngRegistry(seed=9).stream("poisson")
+    src = PoissonTrafficSource(net, "x", "y", rng, rate_bps=1_000_000,
+                               packet_bytes=1000, stop_at=60.0)
+    sim.run(until=61.0)
+    sent_bps = src.packets_sent * 1000 * 8 / 60.0
+    assert sent_bps == pytest.approx(1_000_000, rel=0.1)
+
+
+def test_poisson_respects_start_and_stop():
+    sim, net = build_net()
+    rng = RngRegistry(seed=9).stream("poisson2")
+    src = PoissonTrafficSource(net, "x", "y", rng, rate_bps=5_000_000,
+                               start_at=10.0, stop_at=20.0)
+    sim.run(until=9.9)
+    assert src.packets_sent == 0
+    sim.run(until=30.0)
+    first = src.packets_sent
+    sim.run(until=40.0)
+    assert src.packets_sent == first  # stopped
+
+
+def test_onoff_mean_rate_reflects_duty_cycle():
+    sim, net = build_net()
+    rng = RngRegistry(seed=4).stream("onoff")
+    src = OnOffTrafficSource(net, "x", "y", rng, peak_rate_bps=2_000_000,
+                             on_mean_s=0.5, off_mean_s=0.5,
+                             packet_bytes=500, stop_at=120.0)
+    assert src.mean_rate_bps == pytest.approx(1_000_000)
+    sim.run(until=121.0)
+    sent_bps = src.packets_sent * 500 * 8 / 120.0
+    assert sent_bps == pytest.approx(1_000_000, rel=0.25)
+
+
+def test_traffic_sources_share_node_ports():
+    sim, net = build_net()
+    reg = RngRegistry(seed=4)
+    OnOffTrafficSource(net, "x", "y", reg.stream("a"), peak_rate_bps=1e6,
+                       stop_at=1.0)
+    OnOffTrafficSource(net, "x", "y", reg.stream("b"), peak_rate_bps=1e6,
+                       stop_at=1.0)  # must not collide on the port
+    sim.run(until=2.0)
+
+
+def test_traffic_validation():
+    sim, net = build_net()
+    rng = RngRegistry(seed=1).stream("r")
+    with pytest.raises(ValueError):
+        PoissonTrafficSource(net, "x", "y", rng, rate_bps=0)
+    with pytest.raises(ValueError):
+        OnOffTrafficSource(net, "x", "y", rng, peak_rate_bps=0)
+    with pytest.raises(ValueError):
+        OnOffTrafficSource(net, "x", "y", rng, peak_rate_bps=1e6, on_mean_s=0)
+
+
+def test_gilbert_elliott_stationary_rate():
+    rng = RngRegistry(seed=3).stream("ge")
+    ge = GilbertElliottLoss(rng, p_gb=0.1, p_bg=0.4, loss_good=0.0, loss_bad=0.5)
+    expected = (0.1 / 0.5) * 0.5
+    n = 50_000
+    losses = sum(ge.is_lost() for _ in range(n))
+    assert losses / n == pytest.approx(expected, rel=0.15)
+    assert ge.observed_loss_rate == losses / n
+    assert ge.stationary_loss_rate == pytest.approx(expected)
+
+
+def test_gilbert_elliott_burstiness():
+    """Losses should cluster: P(loss | previous loss) > P(loss)."""
+    rng = RngRegistry(seed=6).stream("ge2")
+    ge = GilbertElliottLoss(rng, p_gb=0.02, p_bg=0.2, loss_good=0.0, loss_bad=0.5)
+    seq = [ge.is_lost() for _ in range(100_000)]
+    overall = sum(seq) / len(seq)
+    after_loss = [b for a, b in zip(seq, seq[1:]) if a]
+    conditional = sum(after_loss) / len(after_loss)
+    assert conditional > 2 * overall
+
+
+def test_gilbert_elliott_validation():
+    rng = RngRegistry(seed=1).stream("x")
+    with pytest.raises(ValueError):
+        GilbertElliottLoss(rng, p_gb=1.5)

@@ -1,0 +1,293 @@
+"""Unit tests for RTP packetization, reception, jitter and RTCP."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.des import RngRegistry, Simulator
+from repro.media import FrameKind, default_registry
+from repro.media.types import Frame
+from repro.net import GilbertElliottLoss, Network
+from repro.rtp import (
+    InterarrivalJitterEstimator,
+    RtcpReporter,
+    RtcpSink,
+    RtpPacket,
+    RtpReceiver,
+    RtpSender,
+)
+
+CLOCK = 90_000
+
+
+def build(loss_model=None, rate=4_000_000, delay=0.01):
+    sim = Simulator()
+    net = Network(sim)
+    net.add_node("srv")
+    net.add_node("cli")
+    net.add_link("srv", "cli", rate, delay, loss_model=loss_model)
+    net.add_link("cli", "srv", rate, delay)
+    return sim, net
+
+
+def frame(seq, size=1000, ticks=3600):
+    return Frame("v", seq=seq, media_time=seq * ticks, duration=ticks,
+                 size_bytes=size, kind=FrameKind.P)
+
+
+def endpoints(net, on_frame=None):
+    rx = RtpReceiver(net, "cli", 5004, CLOCK, "v", on_frame=on_frame)
+    tx = RtpSender(net, "srv", 5005, "cli", 5004, ssrc=1, payload_type=32,
+                   clock_rate=CLOCK, stream_id="v")
+    return tx, rx
+
+
+# ------------------------------------------------------------------ basic
+def test_small_frame_single_packet_roundtrip():
+    sim, net = build()
+    got = []
+    tx, rx = endpoints(net, on_frame=lambda f, t: got.append((f.seq, t)))
+    assert tx.send_frame(frame(0, size=500)) == 1
+    sim.run()
+    assert len(got) == 1
+    assert rx.stats.frames_received == 1
+    assert rx.stats.packets_received == 1
+
+
+def test_large_frame_fragmented_and_reassembled():
+    sim, net = build()
+    got = []
+    tx, rx = endpoints(net, on_frame=lambda f, t: got.append(f))
+    n = tx.send_frame(frame(0, size=10_000))
+    assert n == 8  # ceil(10000/1400)
+    sim.run()
+    assert len(got) == 1
+    assert got[0].size_bytes == 10_000
+    assert rx.stats.packets_received == 8
+    assert rx.stats.frames_received == 1
+
+
+def test_sequence_numbers_increment_across_frames():
+    sim, net = build()
+    tx, rx = endpoints(net)
+    tx.send_frame(frame(0, size=3000))
+    tx.send_frame(frame(1, size=3000))
+    sim.run()
+    assert tx.packet_count == 6
+    assert rx.stats.expected == 6
+    assert rx.stats.cumulative_lost == 0
+
+
+def test_loss_detected_from_sequence_numbers():
+    rng = RngRegistry(seed=8).stream("ge")
+    ge = GilbertElliottLoss(rng, p_gb=0.3, p_bg=0.3, loss_bad=0.6)
+    sim, net = build(loss_model=ge)
+    tx, rx = endpoints(net)
+
+    def sender():
+        for i in range(300):
+            tx.send_frame(frame(i, size=1000))
+            yield sim.timeout(0.04)
+
+    sim.process(sender())
+    sim.run()
+    assert rx.stats.cumulative_lost > 0
+    # Expected-vs-received accounting is self-consistent (head/tail
+    # losses outside [base_seq, highest_seq] are invisible per the RFC).
+    assert rx.stats.expected == rx.stats.packets_received + rx.stats.cumulative_lost
+    assert rx.stats.packets_received + rx.stats.cumulative_lost <= 300
+
+
+def test_incomplete_fragmented_frame_counted_dropped():
+    rng = RngRegistry(seed=8).stream("ge2")
+    ge = GilbertElliottLoss(rng, p_gb=0.4, p_bg=0.2, loss_bad=0.8)
+    sim, net = build(loss_model=ge)
+    got = []
+    tx, rx = endpoints(net, on_frame=lambda f, t: got.append(f.seq))
+
+    def sender():
+        for i in range(200):
+            tx.send_frame(frame(i, size=5000))  # 4 fragments each
+            yield sim.timeout(0.04)
+
+    sim.process(sender())
+    sim.run()
+    assert rx.stats.frames_dropped_fragments > 0
+    assert rx.stats.frames_received == len(got)
+    assert rx.stats.frames_received + rx.stats.frames_dropped_fragments <= 200
+
+
+def test_delay_measurement():
+    sim, net = build(rate=8_000_000, delay=0.025)
+    tx, rx = endpoints(net)
+    tx.send_frame(frame(0, size=1000))
+    sim.run()
+    # serialization (1012 B at 8 Mb/s ~ 1 ms) + 25 ms propagation
+    assert rx.stats.mean_delay_s == pytest.approx(0.026, abs=0.001)
+
+
+def test_seq_wraps_at_16_bits():
+    sim, net = build()
+    tx, rx = endpoints(net)
+    tx._seq = 65_534
+
+    def sender():
+        for i in range(4):
+            tx.send_frame(frame(i, size=500))
+            yield sim.timeout(0.01)
+
+    sim.process(sender())
+    sim.run()
+    assert rx.stats.packets_received == 4
+    assert rx.stats.cumulative_lost == 0
+    assert rx.stats.expected == 4
+
+
+# ------------------------------------------------------------------ jitter
+def test_jitter_zero_for_perfectly_paced_stream():
+    est = InterarrivalJitterEstimator(CLOCK)
+    for i in range(50):
+        est.observe(arrival_s=i * 0.04, rtp_timestamp=i * 3600)
+    assert est.jitter_s == pytest.approx(0.0, abs=1e-12)
+
+
+def test_jitter_positive_for_variable_arrivals():
+    est = InterarrivalJitterEstimator(CLOCK)
+    import numpy as np
+
+    rng = np.random.default_rng(1)
+    for i in range(500):
+        est.observe(i * 0.04 + rng.uniform(0, 0.01), i * 3600)
+    assert est.jitter_s > 0.001
+
+
+def test_jitter_converges_toward_mean_abs_transit_delta():
+    est = InterarrivalJitterEstimator(CLOCK)
+    # Alternating +5ms/-5ms transit: |D| alternates 10ms after first.
+    t = 0.0
+    for i in range(2000):
+        jitter_off = 0.005 if i % 2 == 0 else 0.0
+        est.observe(i * 0.04 + jitter_off, i * 3600)
+    # |D| = 5 ms for every packet after the first, so J -> 5 ms.
+    assert est.jitter_s == pytest.approx(0.005, rel=0.05)
+
+
+def test_jitter_reset():
+    est = InterarrivalJitterEstimator(CLOCK)
+    est.observe(0.0, 0)
+    est.observe(0.05, 3600)
+    assert est.samples == 1
+    est.reset()
+    assert est.jitter_s == 0.0 and est.samples == 0
+
+
+def test_jitter_validation():
+    with pytest.raises(ValueError):
+        InterarrivalJitterEstimator(0)
+
+
+# ------------------------------------------------------------------ RTCP
+def test_rtcp_reports_flow_back_to_sink():
+    sim, net = build()
+    tx, rx = endpoints(net)
+    sink = RtcpSink(net, "srv", 5006)
+    RtcpReporter(net, rx, "cli", 5007, "srv", 5006, ssrc=1, interval_s=0.5)
+
+    def sender():
+        for i in range(100):
+            tx.send_frame(frame(i, size=1000))
+            yield sim.timeout(0.04)
+
+    sim.process(sender())
+    sim.run(until=4.2)
+    assert len(sink.reports_received) == 8
+    last = sink.reports_received[-1]
+    assert last.stream_id == "v"
+    assert last.fraction_lost == 0.0
+    assert last.mean_delay_s > 0.0
+
+
+def test_rtcp_fraction_lost_under_loss():
+    rng = RngRegistry(seed=12).stream("ge")
+    ge = GilbertElliottLoss(rng, p_gb=0.3, p_bg=0.3, loss_bad=0.5)
+    sim, net = build(loss_model=ge)
+    tx, rx = endpoints(net)
+    sink = RtcpSink(net, "srv", 5006)
+    RtcpReporter(net, rx, "cli", 5007, "srv", 5006, ssrc=1, interval_s=1.0)
+
+    def sender():
+        for i in range(250):
+            tx.send_frame(frame(i, size=1000))
+            yield sim.timeout(0.04)
+
+    sim.process(sender())
+    sim.run(until=11.0)
+    fractions = [r.fraction_lost for r in sink.reports_received]
+    assert any(f > 0 for f in fractions)
+    assert all(0.0 <= f <= 1.0 for f in fractions)
+
+
+def test_rtcp_reporter_stop():
+    sim, net = build()
+    tx, rx = endpoints(net)
+    sink = RtcpSink(net, "srv", 5006)
+    rep = RtcpReporter(net, rx, "cli", 5007, "srv", 5006, ssrc=1, interval_s=0.5)
+    sim.run(until=1.2)
+    rep.stop()
+    count = rep.reports_sent
+    sim.run(until=5.0)
+    assert rep.reports_sent == count
+
+
+def test_rtcp_uses_rtcp_protocol_label():
+    sim, net = build()
+    tx, rx = endpoints(net)
+    RtcpSink(net, "srv", 5006)
+    RtcpReporter(net, rx, "cli", 5007, "srv", 5006, ssrc=1, interval_s=0.5)
+    tx.send_frame(frame(0))
+    sim.run(until=1.1)
+    assert "RTCP" in net.tap.bytes_by_protocol
+    assert "RTP" in net.tap.bytes_by_protocol
+
+
+def test_rtcp_interval_validation():
+    sim, net = build()
+    tx, rx = endpoints(net)
+    with pytest.raises(ValueError):
+        RtcpReporter(net, rx, "cli", 5007, "srv", 5006, ssrc=1, interval_s=0)
+
+
+# ------------------------------------------------------------------ packets
+def test_rtp_packet_validation():
+    with pytest.raises(ValueError):
+        RtpPacket(ssrc=1, payload_type=32, seq=-1, timestamp=0, marker=True,
+                  payload_bytes=10)
+    with pytest.raises(ValueError):
+        RtpPacket(ssrc=1, payload_type=32, seq=0, timestamp=0, marker=True,
+                  payload_bytes=0)
+    with pytest.raises(ValueError):
+        RtpPacket(ssrc=1, payload_type=32, seq=0, timestamp=0, marker=True,
+                  payload_bytes=10, fragment_index=2, fragment_count=2)
+    p = RtpPacket(ssrc=1, payload_type=32, seq=0, timestamp=0, marker=True,
+                  payload_bytes=100)
+    assert p.size_bytes == 112
+
+
+# ------------------------------------------------------------------ property
+@settings(max_examples=25, deadline=None)
+@given(sizes=st.lists(st.integers(min_value=1, max_value=20_000),
+                      min_size=1, max_size=30))
+def test_property_lossless_path_delivers_every_frame(sizes):
+    sim, net = build(rate=100e6, delay=0.001)
+    got = []
+    tx, rx = endpoints(net, on_frame=lambda f, t: got.append(f.size_bytes))
+
+    def sender():
+        for i, s in enumerate(sizes):
+            tx.send_frame(frame(i, size=s))
+            yield sim.timeout(0.005)
+
+    sim.process(sender())
+    sim.run()
+    assert got == sizes
+    assert rx.stats.cumulative_lost == 0

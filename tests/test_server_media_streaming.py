@@ -1,0 +1,165 @@
+"""Integration tests: media server streaming to an RTP receiver."""
+
+import pytest
+
+from repro.des import RngRegistry, Simulator
+from repro.media import (
+    ContinuousMediaObject,
+    DiscreteMediaObject,
+    MediaStore,
+    MediaType,
+    default_registry,
+)
+from repro.net import Network, ReliableReceiver
+from repro.rtp import RtpReceiver
+from repro.server import MediaServer
+
+
+def build():
+    sim = Simulator()
+    net = Network(sim)
+    net.add_node("cli")
+    net.add_node("vidsrv")
+    net.add_duplex_link("cli", "vidsrv", 10e6, 0.005)
+    store = MediaStore(default_registry(), RngRegistry(seed=7))
+    store.add(ContinuousMediaObject("/v1.mpg", MediaType.VIDEO, "MPEG",
+                                    duration_s=4.0))
+    store.add(DiscreteMediaObject("/i1.gif", MediaType.IMAGE, "GIF",
+                                  size_bytes=30_000))
+    ms = MediaServer(sim, net, "vidsrv", "vidsrv", store)
+    return sim, net, ms
+
+
+def test_stream_delivers_frames_under_element_id():
+    sim, net, ms = build()
+    got = []
+    RtpReceiver(net, "cli", 5004, 90_000, "V1",
+                on_frame=lambda f, t: got.append(f))
+    handler, conv = ms.start_stream(
+        "sess-1", "/v1.mpg", stream_id="V1",
+        client_node="cli", client_port=5004, duration_s=2.0,
+    )
+    sim.run(until=handler.finished)
+    sim.run(until=sim.now + 0.1)
+    assert handler.frames_sent == 50  # 2 s at 25 fps
+    assert len(got) == 50
+    assert all(f.stream_id == "V1" for f in got)
+
+
+def test_stream_send_offset():
+    sim, net, ms = build()
+    arrivals = []
+    RtpReceiver(net, "cli", 5004, 90_000, "V1",
+                on_frame=lambda f, t: arrivals.append(t))
+    handler, _ = ms.start_stream(
+        "sess-1", "/v1.mpg", stream_id="V1",
+        client_node="cli", client_port=5004, duration_s=1.0,
+        send_offset_s=3.0,
+    )
+    sim.run(until=handler.finished)
+    sim.run(until=sim.now + 0.1)
+    assert min(arrivals) >= 3.0
+
+
+def test_pause_resume_stops_transmission():
+    sim, net, ms = build()
+    arrivals = []
+    RtpReceiver(net, "cli", 5004, 90_000, "V1",
+                on_frame=lambda f, t: arrivals.append(t))
+    handler, _ = ms.start_stream(
+        "sess-1", "/v1.mpg", stream_id="V1",
+        client_node="cli", client_port=5004, duration_s=2.0,
+    )
+
+    def controller():
+        yield sim.timeout(0.5)
+        ms.pause_session("sess-1")
+        yield sim.timeout(4.0)
+        ms.resume_session("sess-1")
+
+    sim.process(controller())
+    sim.run(until=handler.finished)
+    sim.run(until=sim.now + 0.1)
+    # No frames arrived during the pause window.
+    in_pause = [t for t in arrivals if 0.6 < t < 4.4]
+    assert not in_pause
+    assert len(arrivals) == 50
+
+
+def test_regrade_mid_stream_shrinks_frames():
+    sim, net, ms = build()
+    got = []
+    RtpReceiver(net, "cli", 5004, 90_000, "V1",
+                on_frame=lambda f, t: got.append(f))
+    handler, conv = ms.start_stream(
+        "sess-1", "/v1.mpg", stream_id="V1",
+        client_node="cli", client_port=5004, duration_s=4.0,
+    )
+
+    def degrader():
+        yield sim.timeout(2.0)
+        conv.degrade(sim.now, reason="test")
+        conv.degrade(sim.now, reason="test")
+        conv.degrade(sim.now, reason="test")
+
+    sim.process(degrader())
+    sim.run(until=handler.finished)
+    sim.run(until=sim.now + 0.2)
+    early = [f.size_bytes for f in got if f.grade == 0]
+    late = [f.size_bytes for f in got if f.grade == 3]
+    assert early and late
+    assert sum(late) / len(late) < sum(early) / len(early)
+
+
+def test_suspension_halts_frames_but_media_time_advances():
+    sim, net, ms = build()
+    got = []
+    RtpReceiver(net, "cli", 5004, 90_000, "V1",
+                on_frame=lambda f, t: got.append(f))
+    handler, conv = ms.start_stream(
+        "sess-1", "/v1.mpg", stream_id="V1",
+        client_node="cli", client_port=5004, duration_s=2.0,
+        floor_grade=0,
+    )
+
+    def suspender():
+        yield sim.timeout(1.0)
+        conv.degrade(sim.now)  # at floor 0 -> suspend directly
+
+    sim.process(suspender())
+    sim.run(until=handler.finished)
+    assert conv.suspended
+    assert handler.suspended_intervals > 0
+    assert handler.frames_sent == pytest.approx(25, abs=2)
+
+
+def test_discrete_delivery_over_reliable_channel():
+    sim, net, ms = build()
+    got = []
+    ReliableReceiver(net, "cli", 7000,
+                     on_message=lambda data, size, flow: got.append((data, size)))
+    done = ms.send_discrete("I1", "/i1.gif", "cli", 7000, flow_id="img:I1")
+    sim.run(until=done)
+    assert got == [({"element_id": "I1"}, 30_000)]
+    assert "TCP" in net.tap.bytes_by_protocol
+    assert "RTP" not in net.tap.bytes_by_protocol
+
+
+def test_duplicate_stream_id_rejected_and_stop():
+    sim, net, ms = build()
+    RtpReceiver(net, "cli", 5004, 90_000, "V1")
+    h, _ = ms.start_stream("s", "/v1.mpg", stream_id="V1",
+                           client_node="cli", client_port=5004, duration_s=4.0)
+    with pytest.raises(ValueError):
+        ms.start_stream("s", "/v1.mpg", stream_id="V1",
+                        client_node="cli", client_port=5004, duration_s=4.0)
+    # A different session may stream the same object concurrently.
+    RtpReceiver(net, "cli", 5005, 90_000, "V1b")
+    ms.start_stream("s2", "/v1.mpg", stream_id="V1",
+                    client_node="cli", client_port=5005, duration_s=4.0)
+    assert set(ms.streams) == {("s", "V1"), ("s2", "V1")}
+    ms.stop_stream("s", "V1")
+    assert ("s", "V1") not in ms.streams
+    ms.stop_stream("s", "V1")  # idempotent
+    ms.stop_session("s2")
+    assert not ms.streams

@@ -1,0 +1,217 @@
+"""Tests for the §5/§6.2.3 interactive features: navigation history,
+annotations, media disabling, and timed-link autoplay."""
+
+import pytest
+
+from repro.core import EngineConfig, ServiceEngine
+from repro.core.experiments import av_markup
+from repro.hml import DocumentBuilder, serialize
+from repro.service import AnnotationStore, NavigationHistory
+
+
+# ------------------------------------------------------------- history
+def test_history_back_forward():
+    h = NavigationHistory()
+    assert h.current is None
+    h.visit("a")
+    h.visit("b")
+    h.visit("c")
+    assert h.current == "c"
+    assert h.back() == "b"
+    assert h.back() == "a"
+    assert not h.can_back
+    assert h.forward() == "b"
+    assert h.entries() == ["a", "b", "c"]
+
+
+def test_history_visit_truncates_forward_branch():
+    h = NavigationHistory()
+    for d in ("a", "b", "c"):
+        h.visit(d)
+    h.back()
+    h.back()
+    h.visit("x")  # from 'a', new branch
+    assert h.entries() == ["a", "x"]
+    assert not h.can_forward
+
+
+def test_history_revisit_current_is_noop_and_validation():
+    h = NavigationHistory()
+    h.visit("a")
+    h.visit("a")
+    assert h.entries() == ["a"]
+    with pytest.raises(ValueError):
+        h.visit("")
+    with pytest.raises(IndexError):
+        h.back()
+    with pytest.raises(IndexError):
+        h.forward()
+
+
+# ------------------------------------------------------------- annotations
+def test_annotation_store():
+    store = AnnotationStore(author="alice")
+    a1 = store.annotate("doc1", "interesting claim", now=10.0,
+                        element_id="V", presentation_time_s=4.2)
+    a2 = store.annotate("doc1", "check later", now=11.0)
+    store.annotate("doc2", "other doc", now=12.0)
+    assert len(store) == 3
+    assert store.documents() == ["doc1", "doc2"]
+    assert [a.text for a in store.for_document("doc1")] == \
+        ["interesting claim", "check later"]
+    assert store.for_element("doc1", "V") == [a1]
+    assert store.remove(a2.annotation_id)
+    assert not store.remove(a2.annotation_id)
+    assert len(store) == 2
+    with pytest.raises(ValueError):
+        store.annotate("doc1", "   ", now=1.0)
+
+
+# ------------------------------------------------------------- disable
+def doc_with_two_streams(duration=6.0):
+    return serialize(
+        DocumentBuilder("Two streams")
+        .audio("audsrv:/a.au", "A", startime=0.0, duration=duration)
+        .video("vidsrv:/v.mpg", "V", startime=0.0, duration=duration)
+        .image("imgsrv:/i.gif", "I", startime=0.0, duration=duration)
+        .build()
+    )
+
+
+def test_disable_stream_end_to_end():
+    eng = ServiceEngine()
+    eng.add_server("srv1", documents={"doc": (doc_with_two_streams(), "x")})
+    server = eng.servers["srv1"]
+    client, handler = eng.open_session("srv1", "u", "pw")
+    box = {}
+
+    def script():
+        from repro.server.accounts import SubscriptionForm
+
+        resp = yield from client.connect()
+        if resp.msg_type == "subscribe-required":
+            yield from client.subscribe(SubscriptionForm(
+                real_name="U", address="x", email="u@e.org"))
+        resp = yield from client.request_document("doc")
+        comp = eng.build_client_composition(resp.body["markup"], server)
+        ready = yield from client.send_ready(comp.rtp_ports,
+                                             comp.discrete_ports)
+        comp.attach_feedback(ready.body["rtcp_port"], server.node_id)
+        done = comp.start()
+        yield eng.sim.timeout(2.0)
+        # User turns the video off mid-presentation.
+        comp.scheduler.disable_stream("V")
+        resp = yield from client.disable_stream("V")
+        assert resp.msg_type == "stream-disabled"
+        assert resp.body["was_active"]
+        yield done  # presentation still completes
+        comp.qos.stop()
+        box["comp"] = comp
+        yield from client.disconnect()
+
+    proc = eng.sim.process(script())
+    eng.sim.run(until=proc)
+    eng.sim.run(until=eng.sim.now + 1.0)
+    comp = box["comp"]
+    log = comp.log
+    # Audio played fully; video stopped around the disable instant.
+    a_frames = log.summary("A")["frames"]
+    v_frames = log.summary("V")["frames"]
+    assert a_frames > 250  # ~6 s at 50 fps
+    assert 0 < v_frames < 60  # ~<2.2 s at 25 fps
+    assert "V" in comp.scheduler.disabled_streams
+    # Server stopped transmitting the stream.
+    vid_ms = server.media_servers["vidsrv"]
+    assert "V" not in vid_ms.streams
+
+
+def test_disable_before_start_skips_stream():
+    from repro.client.presentation import PresentationScheduler, StreamBinding
+    from repro.des import Simulator
+    from repro.model import PresentationScenario
+
+    sim = Simulator()
+    scenario = PresentationScenario.from_markup(doc_with_two_streams(2.0))
+    sched = PresentationScheduler(
+        sim, scenario,
+        {"A": StreamBinding("A", 8000, 0.02),
+         "V": StreamBinding("V", 90_000, 0.04)},
+        time_window_s=0.2,
+    )
+    sched.disable_stream("V")
+    sched.disable_stream("I")
+    # Feed only audio.
+    from repro.media.types import Frame, FrameKind
+
+    for i in range(101):
+        sched.deliver_frame("A", Frame("A", seq=i, media_time=i * 160,
+                                       duration=160, size_bytes=160,
+                                       kind=FrameKind.SAMPLE))
+    done = sched.start(initial_delay_s=0.0)
+    sim.run(until=done)
+    assert sched.log.summary("V")["frames"] == 0
+    assert sched.renderer.interval_of("I") is None  # never shown
+    with pytest.raises(KeyError):
+        sched.disable_stream("ZZ")
+
+
+# ------------------------------------------------------------- autoplay
+def chained_documents(n=3, duration=3.0):
+    docs = {}
+    for k in range(1, n + 1):
+        b = (
+            DocumentBuilder(f"Part {k}")
+            .audio("audsrv:/a.au", f"A{k}", startime=0.0, duration=duration)
+        )
+        if k < n:
+            b.hyperlink(f"part-{k + 1}", at_time=duration)
+        docs[f"part-{k}"] = (serialize(b.build()), "course")
+    return docs
+
+
+def test_autoplay_follows_timed_links():
+    eng = ServiceEngine()
+    eng.add_server("srv1", documents=chained_documents(3))
+    visits = eng.run_autoplay_sequence("srv1", "part-1")
+    assert [v["document"] for v in visits] == ["part-1", "part-2", "part-3"]
+    assert visits[-1]["history"] == ["part-1", "part-2", "part-3"]
+    # Every part actually played audio frames.
+    assert all(v["frames"] > 100 for v in visits)
+
+
+def test_autoplay_interrupts_when_link_fires_early():
+    eng = ServiceEngine()
+    docs = {
+        "long": (serialize(
+            DocumentBuilder("Long")
+            .audio("audsrv:/a.au", "A", startime=0.0, duration=30.0)
+            .hyperlink("short", at_time=3.0)  # fires long before the end
+            .build()), "x"),
+        "short": (serialize(
+            DocumentBuilder("Short")
+            .audio("audsrv:/a.au", "B", startime=0.0, duration=2.0)
+            .build()), "x"),
+    }
+    eng.add_server("srv1", documents=docs)
+    visits = eng.run_autoplay_sequence("srv1", "long", horizon_s=100.0)
+    assert [v["document"] for v in visits] == ["long", "short"]
+    assert visits[0]["interrupted"] is True
+    assert visits[1]["interrupted"] is False
+    assert eng.sim.now < 30.0  # did not sit through the long document
+
+
+def test_autoplay_respects_max_documents():
+    eng = ServiceEngine()
+    # a 2-cycle of timed links
+    docs = {
+        "a": (serialize(DocumentBuilder("A")
+                        .audio("audsrv:/x.au", "A", duration=1.0)
+                        .hyperlink("b", at_time=1.0).build()), "x"),
+        "b": (serialize(DocumentBuilder("B")
+                        .audio("audsrv:/y.au", "B", duration=1.0)
+                        .hyperlink("a", at_time=1.0).build()), "x"),
+    }
+    eng.add_server("srv1", documents=docs)
+    visits = eng.run_autoplay_sequence("srv1", "a", max_documents=5)
+    assert len(visits) == 5
+    assert [v["document"] for v in visits] == ["a", "b", "a", "b", "a"]

@@ -1,0 +1,94 @@
+"""Unit tests for the Figure 4 session state machine."""
+
+import pytest
+
+from repro.service import (
+    SessionEvent as E,
+    SessionState as S,
+    SessionStateMachine,
+    TRANSITIONS,
+    transition_table_rows,
+)
+from repro.service.states import InvalidTransition
+
+
+def test_happy_path_walk():
+    fsm = SessionStateMachine()
+    walk = [
+        (E.CONNECT, S.AUTHENTICATING),
+        (E.AUTH_OK, S.BROWSING),
+        (E.REQUEST_DOCUMENT, S.REQUESTING),
+        (E.SCENARIO_RECEIVED, S.VIEWING),
+        (E.PAUSE, S.PAUSED),
+        (E.RESUME, S.VIEWING),
+        (E.PRESENTATION_END, S.BROWSING),
+        (E.DISCONNECT, S.DISCONNECTED),
+    ]
+    for event, expected in walk:
+        assert fsm.fire(event, now=1.0) is expected
+
+
+def test_subscription_path():
+    fsm = SessionStateMachine()
+    fsm.fire(E.CONNECT)
+    assert fsm.fire(E.NOT_MEMBER) is S.SUBSCRIBING
+    assert fsm.fire(E.SUBSCRIBED) is S.BROWSING
+
+
+def test_cross_server_suspend_path():
+    fsm = SessionStateMachine()
+    for e in (E.CONNECT, E.AUTH_OK, E.REQUEST_DOCUMENT, E.SCENARIO_RECEIVED):
+        fsm.fire(e)
+    assert fsm.fire(E.FOLLOW_LINK_REMOTE) is S.SUSPENDING
+    assert fsm.fire(E.RECONNECTED) is S.REQUESTING
+
+
+def test_suspend_expiry_path():
+    fsm = SessionStateMachine()
+    for e in (E.CONNECT, E.AUTH_OK, E.REQUEST_DOCUMENT, E.SCENARIO_RECEIVED,
+              E.FOLLOW_LINK_REMOTE):
+        fsm.fire(e)
+    assert fsm.fire(E.SUSPEND_EXPIRED) is S.BROWSING
+
+
+def test_disconnect_from_every_state():
+    for state in S:
+        if state is S.DISCONNECTED:
+            continue
+        fsm = SessionStateMachine(state=state)
+        assert fsm.fire(E.DISCONNECT) is S.DISCONNECTED
+
+
+def test_invalid_transitions_raise():
+    fsm = SessionStateMachine()
+    with pytest.raises(InvalidTransition):
+        fsm.fire(E.PAUSE)  # cannot pause while disconnected
+    fsm.fire(E.CONNECT)
+    with pytest.raises(InvalidTransition):
+        fsm.fire(E.SCENARIO_RECEIVED)
+    assert not fsm.can_fire(E.RESUME)
+    assert fsm.can_fire(E.AUTH_OK)
+
+
+def test_history_and_edges():
+    fsm = SessionStateMachine()
+    fsm.fire(E.CONNECT, now=1.0)
+    fsm.fire(E.AUTH_OK, now=2.0)
+    assert fsm.history[0] == (1.0, S.DISCONNECTED, E.CONNECT, S.AUTHENTICATING)
+    assert (S.DISCONNECTED, E.CONNECT) in fsm.edges_taken()
+
+
+def test_every_state_reachable_and_leavable():
+    reachable = {S.DISCONNECTED}
+    for (src, _), dst in TRANSITIONS.items():
+        reachable.add(dst)
+    assert reachable == set(S)
+    sources = {src for (src, _) in TRANSITIONS}
+    assert sources == set(S) - {S.DISCONNECTED} | {S.DISCONNECTED}
+
+
+def test_transition_table_rows_sorted_and_complete():
+    rows = transition_table_rows()
+    assert len(rows) == len(TRANSITIONS)
+    assert rows == sorted(rows)
+    assert ("viewing", "pause", "paused") in rows

@@ -1,0 +1,91 @@
+"""Tests for SMIL export and the ASCII desktop snapshot."""
+
+from xml.etree import ElementTree as ET
+
+import pytest
+
+from repro.client import VirtualRenderer
+from repro.hml import DocumentBuilder
+from repro.hml.examples import figure2_document
+from repro.hml.smil_export import to_smil
+from repro.model.layout import LayoutEngine
+
+
+# ----------------------------------------------------------------- SMIL
+def test_smil_export_figure2_structure():
+    xml = to_smil(figure2_document())
+    root = ET.fromstring(xml)
+    assert root.tag == "smil"
+    # Layout regions for the visual elements exist.
+    regions = {r.get("id") for r in root.iter("region")}
+    assert "r-I1" in regions and "r-I2" in regions
+    # Images carry begin/dur from STARTIME/DURATION.
+    imgs = {i.get("src"): i for i in root.iter("img")}
+    assert imgs["imgsrv:/I1.gif"].get("begin") == "0s"
+    assert imgs["imgsrv:/I1.gif"].get("dur") == "6s"
+    assert imgs["imgsrv:/I2.gif"].get("begin") == "6s"
+    # The AU_VI pair is a nested <par> whose children start together.
+    inner_pars = [p for p in root.iter("par") if p.get("begin")]
+    assert len(inner_pars) == 1
+    pair = inner_pars[0]
+    assert pair.get("begin") == "4s"
+    kids = {c.tag for c in pair}
+    assert kids == {"audio", "video"}
+    assert all(c.get("begin") == "0s" for c in pair)
+    # The timed link wraps the body content.
+    a = root.find("./body/a")
+    assert a is not None
+    assert a.get("href") == "next-document"
+
+
+def test_smil_export_plain_document_has_no_anchor():
+    doc = (DocumentBuilder("plain")
+           .audio("s:/a.au", "A", duration=2.0)
+           .build())
+    root = ET.fromstring(to_smil(doc))
+    assert root.find("./body/a") is None
+    audio = root.find(".//audio")
+    assert audio.get("dur") == "2s"
+
+
+def test_smil_open_ended_media_has_no_dur():
+    doc = DocumentBuilder("t").audio("s:/a.au", "A").build()
+    root = ET.fromstring(to_smil(doc))
+    assert root.find(".//audio").get("dur") is None
+
+
+# ------------------------------------------------------------- snapshot
+def test_ascii_snapshot_draws_visible_boxes():
+    doc = (
+        DocumentBuilder("t")
+        .image("s:/i.gif", "IMG1", startime=0.0, duration=5.0,
+               width=400, height=300)
+        .build()
+    )
+    layout = LayoutEngine().layout(doc)
+    r = VirtualRenderer(layout)
+    r.show("IMG1", 1.0)
+    art = r.ascii_snapshot(t=2.0)
+    assert "+" in art and "|" in art
+    assert "IMG1" in art
+    # After hiding, the box disappears.
+    r.hide("IMG1", 3.0)
+    art_later = r.ascii_snapshot(t=4.0)
+    assert "IMG1" not in art_later
+
+
+def test_ascii_snapshot_without_layout():
+    r = VirtualRenderer()
+    assert "(no layout" in r.ascii_snapshot(0.0)
+
+
+def test_ascii_snapshot_figure2_mid_scenario():
+    from repro.model import PresentationScenario
+
+    scenario = PresentationScenario.from_document(figure2_document())
+    r = VirtualRenderer(scenario.layout)
+    r.show("I1", 0.0)
+    r.hide("I1", 6.0)
+    r.show("I2", 6.0)
+    art = r.ascii_snapshot(t=7.0)
+    assert "I2" in art and "I1" not in art
