@@ -16,10 +16,10 @@ Public API entry points:
 See README.md for a tour and DESIGN.md for the system inventory.
 """
 
-__version__ = "1.0.0"
-
 from repro.core import EngineConfig, ServiceEngine, SessionResult, TrafficConfig
 from repro.hml import DocumentBuilder, HmlDocument, parse, serialize
+
+__version__ = "1.0.0"
 
 __all__ = [
     "DocumentBuilder",

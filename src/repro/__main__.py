@@ -24,6 +24,7 @@ EXPERIMENTS = {
     "e8": ("run_grading_order_ablation", "degrade-order ablation"),
     "e9": ("run_interplay_experiment", "short- vs long-term timing"),
     "e10": ("run_scaling_experiment", "concurrent-session scaling"),
+    "e10b": ("run_population_scaling", "population on per-client links"),
     "e11": ("run_atm_comparison", "ATM access link (future work)"),
 }
 

@@ -16,8 +16,6 @@ rate so late frames are discarded as stale.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 from repro.client.buffers import MediaBuffer
 from repro.client.metrics import PlayoutEventKind, PlayoutEventLog
 from repro.client.monitor import BufferAction, BufferMonitor

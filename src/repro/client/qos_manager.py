@@ -60,15 +60,21 @@ class ClientQoSManager:
     def register_stream(
         self,
         receiver: RtpReceiver,
-        rtcp_port: int,
+        rtcp_port: int | None,
         server_node: str,
         server_rtcp_port: int,
         ssrc: int,
     ) -> RtcpReporter:
-        """Attach a stream and start its periodic receiver reports."""
+        """Attach a stream and start its periodic receiver reports.
+
+        ``rtcp_port=None`` draws the report source port from this
+        client host's own allocator.
+        """
         stream_id = receiver.stream_id
         if stream_id in self._receivers:
             raise ValueError(f"stream {stream_id!r} already registered")
+        if rtcp_port is None:
+            rtcp_port = self.network.node(self.node_id).ports.allocate("media")
         self._receivers[stream_id] = receiver
         reporter = RtcpReporter(
             self.network, receiver, self.node_id, rtcp_port,

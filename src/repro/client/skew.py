@@ -23,7 +23,7 @@ keep |skew| bounded near the threshold.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.client.metrics import DEFAULT_SYNC_THRESHOLD_S, SkewSeries
 

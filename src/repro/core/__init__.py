@@ -9,12 +9,22 @@ and synchronized playout, the RTCP feedback loop and quality grading.
 
 from repro.core.config import EngineConfig, TrafficConfig
 from repro.core.engine import ServiceEngine, ClientComposition
+from repro.core.orchestrator import (
+    PopulationResult,
+    SessionOrchestrator,
+    SessionOutcome,
+    SessionSpec,
+)
 from repro.core.results import SessionResult
 
 __all__ = [
     "ClientComposition",
     "EngineConfig",
+    "PopulationResult",
     "ServiceEngine",
+    "SessionOrchestrator",
+    "SessionOutcome",
     "SessionResult",
+    "SessionSpec",
     "TrafficConfig",
 ]

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.net.builder import AccessLinkSpec
 from repro.server.qos_manager import GradingPolicy
 
 __all__ = ["TrafficConfig", "EngineConfig"]
@@ -20,6 +21,9 @@ class TrafficConfig:
     start_at: float = 0.0
     stop_at: float = float("inf")
     packet_bytes: int = 1000
+    #: destination client node; None targets the default client, so a
+    #: population run can aim congestion at one viewer's access link.
+    target: str | None = None
 
     def __post_init__(self) -> None:
         if self.kind not in ("onoff", "poisson"):
@@ -76,3 +80,23 @@ class EngineConfig:
             raise ValueError("link rates must be positive")
         if self.rtcp_interval_s <= 0:
             raise ValueError("rtcp_interval_s must be positive")
+
+    def access_link_spec(self, loss_model=None, *,
+                         rate_bps: float | None = None,
+                         delay_s: float | None = None,
+                         queue_packets: int | None = None,
+                         ) -> AccessLinkSpec:
+        """One client's access-link parameters, with optional overrides.
+
+        Population runs stamp out many clients from this template; a
+        heterogeneous population passes per-client overrides.
+        """
+        return AccessLinkSpec(
+            rate_bps=rate_bps if rate_bps is not None
+            else self.access_rate_bps,
+            delay_s=delay_s if delay_s is not None else self.access_delay_s,
+            queue_packets=queue_packets if queue_packets is not None
+            else self.access_queue_packets,
+            atm=self.atm_access,
+            loss_model=loss_model,
+        )

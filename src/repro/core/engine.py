@@ -1,23 +1,31 @@
-"""Full-service composition and session orchestration.
+"""Full-service composition: topology, servers, and client machinery.
 
 Topology (the simulated "broadband network" of the paper):
 
-    client ── access link ── router ── backbone links ── server hosts
-                                └───── cross-traffic sources
+    client ── access link ──┐
+    client2 ── access link ──┼─ router ── backbone links ── server hosts
+        ...                  │      └───── cross-traffic sources
 
 Each multimedia server host carries the multimedia server and its
 media servers (the paper allows them to share a host); cross traffic
-loads the router→client access link, the path all media share.
+loads the router→client access links, the paths all media share.
+
+The engine owns *construction*: the :class:`~repro.net.builder.
+TopologyBuilder` stamps out client hosts (one by default, N for
+population runs), servers and documents. Session *orchestration* —
+scripted runs, concurrent viewers, autoplay, multi-client populations
+— lives in :class:`~repro.core.orchestrator.SessionOrchestrator`; the
+``run_*`` methods here are thin deprecated shims kept for
+compatibility.
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
 from typing import Any
 
-from repro.client.metrics import PlayoutEventKind, PlayoutEventLog
 from repro.client.presentation import PresentationScheduler, StreamBinding
+from repro.client.metrics import PlayoutEventLog
 from repro.client.qos_manager import ClientQoSManager
 from repro.des import Simulator
 from repro.des.rng import RngRegistry
@@ -30,6 +38,7 @@ from repro.media.types import (
     MediaType,
 )
 from repro.model.scenario import PresentationScenario
+from repro.net.builder import AccessLinkSpec, TopologyBuilder
 from repro.net.channel import ReliableReceiver
 from repro.net.impairments import GilbertElliottLoss
 from repro.net.topology import Network
@@ -47,11 +56,9 @@ from repro.service.session import ClientSession, ServerSessionHandler
 
 __all__ = ["ServiceEngine", "ClientComposition"]
 
-_session_ids = itertools.count(1)
-
 
 class ServiceEngine:
-    """Builds the whole system and runs on-demand sessions."""
+    """Builds the whole system and hands sessions to the orchestrator."""
 
     CLIENT = "client"
     ROUTER = "router"
@@ -64,53 +71,87 @@ class ServiceEngine:
         self.network = Network(self.sim)
         self.accounts = AccountRegistry()
         self.servers: dict[str, MultimediaServer] = {}
-        self._channel_port = 10_000
-        self._client_port = 40_000
+        #: per-engine session ids — two engines in one process both
+        #: start at sess-1, so runs replay identically.
+        self._session_ids = itertools.count(1)
         self._traffic_nodes = 0
+        self._population: list[str] = []
+        self._orchestrator = None
         self._build_backbone()
 
     # -- topology -----------------------------------------------------------
     def _build_backbone(self) -> None:
         cfg = self.config
-        self.network.add_node(self.CLIENT)
-        self.network.add_node(self.ROUTER)
-        loss = None
-        if cfg.loss_p_gb > 0:
-            loss = GilbertElliottLoss(
-                self.rng.stream("access-loss"),
-                p_gb=cfg.loss_p_gb, p_bg=cfg.loss_p_bg, loss_bad=cfg.loss_bad,
-            )
-        # Downstream (router -> client) is the shared bottleneck.
-        self.network.add_link(
-            self.ROUTER, self.CLIENT, cfg.access_rate_bps, cfg.access_delay_s,
-            queue_packets=cfg.access_queue_packets, loss_model=loss,
-            atm=cfg.atm_access,
+        self.topology = TopologyBuilder(
+            self.network, router=self.ROUTER,
+            backbone_rate_bps=cfg.backbone_rate_bps,
+            backbone_delay_s=cfg.backbone_delay_s,
+            backbone_queue_packets=cfg.backbone_queue_packets,
         )
-        self.network.add_link(
-            self.CLIENT, self.ROUTER, cfg.access_rate_bps, cfg.access_delay_s,
-            queue_packets=cfg.access_queue_packets, atm=cfg.atm_access,
+        self.topology.add_client(
+            self.CLIENT, cfg.access_link_spec(self._access_loss("access-loss"))
         )
         for tc in cfg.traffic:
             self._add_traffic(tc)
 
+    def _access_loss(self, stream_name: str) -> GilbertElliottLoss | None:
+        cfg = self.config
+        if cfg.loss_p_gb <= 0:
+            return None
+        return GilbertElliottLoss(
+            self.rng.stream(stream_name),
+            p_gb=cfg.loss_p_gb, p_bg=cfg.loss_p_bg, loss_bad=cfg.loss_bad,
+        )
+
+    def add_client(self, node_id: str | None = None,
+                   spec: AccessLinkSpec | None = None) -> str:
+        """Add a viewer host with its *own* access link.
+
+        Each client draws link parameters from the engine config (or
+        an explicit ``spec``) and gets an independent loss process and
+        port namespace. Returns the new node id.
+        """
+        if node_id is None:
+            node_id = f"client{len(self._population) + 1}"
+        if spec is None:
+            spec = self.config.access_link_spec(
+                self._access_loss(f"access-loss:{node_id}")
+            )
+        self.topology.add_client(node_id, spec)
+        self._population.append(node_id)
+        return node_id
+
+    def client_nodes(self, n: int,
+                     specs: list[AccessLinkSpec] | None = None) -> list[str]:
+        """The first ``n`` population client nodes, created on demand.
+
+        Repeated calls reuse already-created clients, so two population
+        runs on one engine share viewer hosts instead of leaking nodes.
+        """
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        if specs is not None and len(specs) < n:
+            raise ValueError(f"need {n} access specs, got {len(specs)}")
+        while len(self._population) < n:
+            spec = specs[len(self._population)] if specs is not None else None
+            self.add_client(spec=spec)
+        return self._population[:n]
+
     def _add_traffic(self, tc) -> None:
         self._traffic_nodes += 1
         node = f"xsrc{self._traffic_nodes}"
-        self.network.add_node(node)
-        self.network.add_duplex_link(
-            node, self.ROUTER, self.config.backbone_rate_bps,
-            0.001, queue_packets=self.config.backbone_queue_packets,
-        )
+        self.topology.add_traffic_host(node)
         rng = self.rng.stream(f"traffic:{node}")
+        target = tc.target or self.CLIENT
         if tc.kind == "poisson":
             PoissonTrafficSource(
-                self.network, node, self.CLIENT, rng, rate_bps=tc.rate_bps,
+                self.network, node, target, rng, rate_bps=tc.rate_bps,
                 packet_bytes=tc.packet_bytes, start_at=tc.start_at,
                 stop_at=tc.stop_at,
             )
         else:
             OnOffTrafficSource(
-                self.network, node, self.CLIENT, rng,
+                self.network, node, target, rng,
                 peak_rate_bps=tc.rate_bps, on_mean_s=tc.on_mean_s,
                 off_mean_s=tc.off_mean_s, packet_bytes=tc.packet_bytes,
                 start_at=tc.start_at, stop_at=tc.stop_at,
@@ -132,12 +173,7 @@ class ServiceEngine:
         if name in self.servers:
             raise ValueError(f"server {name!r} already exists")
         node_id = f"host:{name}"
-        self.network.add_node(node_id)
-        self.network.add_duplex_link(
-            node_id, self.ROUTER, self.config.backbone_rate_bps,
-            self.config.backbone_delay_s,
-            queue_packets=self.config.backbone_queue_packets,
-        )
+        self.topology.add_server_host(node_id)
         database = MultimediaDatabase()
         media_servers: dict[str, MediaServer] = {}
         server = MultimediaServer(
@@ -198,13 +234,7 @@ class ServiceEngine:
             if self.config.separate_media_hosts:
                 node_id = f"host:{media_name}"
                 if node_id not in self.network.nodes:
-                    self.network.add_node(node_id)
-                    self.network.add_duplex_link(
-                        node_id, self.ROUTER,
-                        self.config.backbone_rate_bps,
-                        self.config.backbone_delay_s,
-                        queue_packets=self.config.backbone_queue_packets,
-                    )
+                    self.topology.add_server_host(node_id)
             else:
                 node_id = server.node_id
             store = MediaStore(self.codecs, self.rng)
@@ -214,17 +244,27 @@ class ServiceEngine:
         return server.media_servers[media_name]
 
     # -- client construction ---------------------------------------------------
-    def open_session(self, server_name: str, user_id: str,
-                     secret: str) -> tuple[ClientSession, ServerSessionHandler]:
-        """Create the control channel + protocol endpoints to a server."""
+    def open_session(self, server_name: str, user_id: str, secret: str,
+                     client_node: str | None = None,
+                     ) -> tuple[ClientSession, ServerSessionHandler]:
+        """Create the control channel + protocol endpoints to a server.
+
+        ``client_node`` selects the viewer host (default: the built-in
+        single client). The control block must be free on *both* ends,
+        so it is claimed from both nodes' allocators.
+        """
+        client_node = client_node if client_node is not None else self.CLIENT
         server = self.servers[server_name]
-        port = self._channel_port
-        self._channel_port += 10
-        channel = ControlChannel(self.network, self.CLIENT, server.node_id,
-                                 base_port=port)
-        session_id = f"sess-{next(_session_ids)}"
+        cports = self.network.node(client_node).ports
+        sports = self.network.node(server.node_id).ports
+        base = max(cports.next_free("control"), sports.next_free("control"))
+        cports.claim(base, 10, "control")
+        sports.claim(base, 10, "control")
+        channel = ControlChannel(self.network, client_node, server.node_id,
+                                 base_port=base)
+        session_id = f"sess-{next(self._session_ids)}"
         handler = ServerSessionHandler(
-            server, channel.server, session_id, self.CLIENT,
+            server, channel.server, session_id, client_node,
             suspend_grace_s=self.config.suspend_grace_s,
             flow_lead_s=self.config.flow_lead_s,
         )
@@ -233,252 +273,59 @@ class ServiceEngine:
 
     def build_client_composition(self, markup: str,
                                  server: MultimediaServer,
+                                 client_node: str | None = None,
                                  ) -> "ClientComposition":
-        return ClientComposition(self, markup, server)
+        return ClientComposition(self, markup, server,
+                                 client_node=client_node)
 
-    # -- convenience: full scripted run -------------------------------------------
-    def _session_script(self, client, handler, server, document: str,
-                        result_box: dict[str, Any], contract: str,
-                        subscribe_first: bool, start_delay_s: float = 0.0):
-        """The canonical session coroutine: connect → request → view
-        → disconnect, leaving its artefacts in ``result_box``."""
-        from repro.server.accounts import SubscriptionForm
+    # -- orchestration shims ------------------------------------------------
+    @property
+    def orchestrator(self):
+        """The engine's :class:`SessionOrchestrator` (created lazily)."""
+        if self._orchestrator is None:
+            from repro.core.orchestrator import SessionOrchestrator
 
-        cfg = self.config
-        user_id = client.user_id
-        if start_delay_s > 0:
-            yield self.sim.timeout(start_delay_s)
-        resp = yield from client.connect()
-        if resp.msg_type == "subscribe-required" and subscribe_first:
-            form = SubscriptionForm(
-                real_name=user_id.title(), address="somewhere",
-                email=f"{user_id}@example.org",
-            )
-            resp = yield from client.subscribe(form, contract=contract)
-        if resp.msg_type != "connect-ok":
-            result_box["error"] = resp.body.get("reason", "rejected")
-            return
-        resp = yield from client.request_document(document)
-        if resp.msg_type != "scenario":
-            result_box["error"] = resp.body.get("reason", "no scenario")
-            return
-        comp = self.build_client_composition(resp.body["markup"], server)
-        ready = yield from client.send_ready(
-            comp.rtp_ports, comp.discrete_ports, lead_s=cfg.flow_lead_s
-        )
-        comp.attach_feedback(ready.body["rtcp_port"], server.node_id)
-        done = comp.start()
-        yield done
-        client.end_presentation()
-        comp.qos.stop()
-        # Capture server-side state that disconnect tears down.
-        if handler.session is not None:
-            mgr = handler.session.qos_manager
-            result_box["decisions"] = list(mgr.decisions)
-            result_box["trajectories"] = {
-                sid: conv.grade_trajectory()
-                for sid, conv in mgr.converters().items()
-                if sid in comp.receivers
-            }
-        charge = yield from client.disconnect()
-        result_box["comp"] = comp
-        result_box["charge"] = charge
+            self._orchestrator = SessionOrchestrator(self)
+        return self._orchestrator
 
-    def run_full_session(
-        self,
-        server_name: str,
-        document: str,
-        user_id: str = "user1",
-        secret: str = "pw",
-        contract: str = "basic",
-        subscribe_first: bool = True,
-        horizon_s: float = 600.0,
-    ) -> SessionResult:
-        """Script a complete session: connect → request → view → bye."""
-        server = self.servers[server_name]
-        client, handler = self.open_session(server_name, user_id, secret)
-        result_box: dict[str, Any] = {}
-        proc = self.sim.process(
-            self._session_script(client, handler, server, document,
-                                 result_box, contract, subscribe_first),
-            name="scripted-session",
-        )
-        guard = self.sim.any_of([proc, self.sim.timeout(horizon_s)])
-        self.sim.run(until=guard)
-        if not proc.triggered:
-            return SessionResult(document=document, completed=False,
-                                 startup_latency_s=None, charge=0.0,
-                                 events=["horizon reached"])
-        self.sim.run(until=self.sim.now + 1.0)
-        if "error" in result_box:
-            return SessionResult(document=document, completed=False,
-                                 startup_latency_s=None, charge=0.0,
-                                 events=[result_box["error"]])
-        comp: ClientComposition = result_box["comp"]
-        return comp.collect_result(
-            document, charge=result_box["charge"],
-            grading_decisions=result_box.get("decisions", []),
-            grade_trajectories=result_box.get("trajectories", {}),
-        )
+    def run_full_session(self, *args, **kwargs) -> SessionResult:
+        """Deprecated: use ``engine.orchestrator.run_full_session``."""
+        return self.orchestrator.run_full_session(*args, **kwargs)
 
+    def run_concurrent_sessions(self, *args, **kwargs) -> list[SessionResult]:
+        """Deprecated: use ``engine.orchestrator.run_concurrent_sessions``."""
+        return self.orchestrator.run_concurrent_sessions(*args, **kwargs)
 
-    def run_concurrent_sessions(
-        self,
-        server_name: str,
-        document: str,
-        n_sessions: int,
-        stagger_s: float = 0.5,
-        contract: str = "basic",
-        horizon_s: float = 600.0,
-    ) -> list[SessionResult]:
-        """Run ``n_sessions`` simultaneous viewers of one document.
+    def run_autoplay_sequence(self, *args, **kwargs) -> list[dict[str, Any]]:
+        """Deprecated: use ``engine.orchestrator.run_autoplay_sequence``."""
+        return self.orchestrator.run_autoplay_sequence(*args, **kwargs)
 
-        Sessions start ``stagger_s`` apart and share the access-link
-        bottleneck; each gets its own control channel, buffers, RTP
-        ports and server-side QoS manager. Returns one
-        :class:`SessionResult` per session (uncompleted sessions get
-        ``completed=False``).
-        """
-        if n_sessions < 1:
-            raise ValueError("n_sessions must be >= 1")
-        server = self.servers[server_name]
-        boxes: list[dict[str, Any]] = []
-        procs = []
-        for i in range(n_sessions):
-            client, handler = self.open_session(
-                server_name, f"user{i + 1}", "pw"
-            )
-            box: dict[str, Any] = {}
-            boxes.append(box)
-            procs.append(self.sim.process(
-                self._session_script(client, handler, server, document,
-                                     box, contract, True,
-                                     start_delay_s=i * stagger_s),
-                name=f"session-{i + 1}",
-            ))
-        guard = self.sim.any_of(
-            [self.sim.all_of(procs), self.sim.timeout(horizon_s)]
-        )
-        self.sim.run(until=guard)
-        self.sim.run(until=self.sim.now + 1.0)
-        results: list[SessionResult] = []
-        for box in boxes:
-            if "comp" in box:
-                comp: ClientComposition = box["comp"]
-                results.append(comp.collect_result(
-                    document, charge=box.get("charge", 0.0),
-                    grading_decisions=box.get("decisions", []),
-                    grade_trajectories=box.get("trajectories", {}),
-                ))
-            else:
-                results.append(SessionResult(
-                    document=document, completed=False,
-                    startup_latency_s=None, charge=0.0,
-                    events=[box.get("error", "did not finish")],
-                ))
-        return results
-
-    def run_autoplay_sequence(
-        self,
-        server_name: str,
-        first_document: str,
-        user_id: str = "user1",
-        secret: str = "pw",
-        max_documents: int = 10,
-        horizon_s: float = 600.0,
-    ) -> list[dict[str, Any]]:
-        """Follow the author's pre-orchestrated sequence (§3).
-
-        Plays ``first_document`` and auto-follows its AT-timed
-        hyperlink when the time elapses — "this feature can preserve
-        the sequential nature or 'writer's way' of presentation, in
-        the absence of user involvement" — until a document has no
-        timed link or ``max_documents`` is reached. Returns one entry
-        per visited document with its outcome and navigation history.
-        """
-        from repro.server.accounts import SubscriptionForm
-        from repro.service.history import NavigationHistory
-
-        server = self.servers[server_name]
-        client, handler = self.open_session(server_name, user_id, secret)
-        history = NavigationHistory()
-        visits: list[dict[str, Any]] = []
-
-        def script():
-            resp = yield from client.connect()
-            if resp.msg_type == "subscribe-required":
-                resp = yield from client.subscribe(SubscriptionForm(
-                    real_name=user_id.title(), address="somewhere",
-                    email=f"{user_id}@example.org"))
-            if resp.msg_type != "connect-ok":
-                return
-            current = first_document
-            via_link = False
-            for _ in range(max_documents):
-                resp = yield from client.request_document(current,
-                                                          via_link=via_link)
-                via_link = True
-                if resp.msg_type != "scenario":
-                    break
-                history.visit(current)
-                comp = self.build_client_composition(resp.body["markup"],
-                                                     server)
-                ready = yield from client.send_ready(
-                    comp.rtp_ports, comp.discrete_ports,
-                    lead_s=self.config.flow_lead_s,
-                )
-                comp.attach_feedback(ready.body["rtcp_port"],
-                                     server.node_id)
-                done = comp.start()
-                link = comp.scenario.timed_link()
-                interrupted = False
-                if link is not None and link.at_time is not None:
-                    fire_at = comp.scheduler.initial_delay_s + link.at_time
-                    timer = self.sim.timeout(fire_at)
-                    yield self.sim.any_of([done, timer])
-                    if not done.triggered:
-                        comp.scheduler.interrupt()
-                        interrupted = True
-                        yield from client.stop_streams()
-                else:
-                    yield done
-                comp.qos.stop()
-                visits.append({
-                    "document": current,
-                    "interrupted": interrupted,
-                    "frames": sum(
-                        comp.log.summary(s.stream_id)["frames"]
-                        for s in comp.scenario.continuous_streams()
-                    ),
-                })
-                if link is None:
-                    break
-                # Follow the timed link (state is still VIEWING whether
-                # the presentation completed or was interrupted).
-                client.follow_link_local()
-                current = link.target_document
-            yield from client.disconnect()
-
-        proc = self.sim.process(script(), name="autoplay")
-        guard = self.sim.any_of([proc, self.sim.timeout(horizon_s)])
-        self.sim.run(until=guard)
-        self.sim.run(until=self.sim.now + 1.0)
-        return [dict(v, history=history.entries()) for v in visits]
+    def run_population(self, *args, **kwargs):
+        """Shorthand for ``engine.orchestrator.run_population``."""
+        return self.orchestrator.run_population(*args, **kwargs)
 
 
 class ClientComposition:
-    """The browser's machinery for one document presentation."""
+    """The browser's machinery for one document presentation.
+
+    Bound to one viewer host: receivers, buffers and feedback ports
+    all live on ``client_node`` and draw from *its* port allocator.
+    """
 
     def __init__(self, engine: ServiceEngine, markup: str,
-                 server: MultimediaServer) -> None:
+                 server: MultimediaServer,
+                 client_node: str | None = None) -> None:
         self.engine = engine
         self.sim = engine.sim
         self.network = engine.network
         self.server = server
+        self.client_node = (client_node if client_node is not None
+                            else engine.CLIENT)
         cfg = engine.config
+        node = self.network.node(self.client_node)
         self.scenario = PresentationScenario.from_markup(markup)
         self.log = PlayoutEventLog()
-        self.qos = ClientQoSManager(self.network, engine.CLIENT,
+        self.qos = ClientQoSManager(self.network, self.client_node,
                                     report_interval_s=cfg.rtcp_interval_s,
                                     adaptive=cfg.rtcp_adaptive)
         self.receivers: dict[str, RtpReceiver] = {}
@@ -502,20 +349,18 @@ class ClientComposition:
         )
         for spec in self.scenario.continuous_streams():
             sid = spec.stream_id
-            port = engine._client_port
-            engine._client_port += 1
+            port = node.ports.allocate("media")
             codec = engine.codecs.default_for(spec.media_type)
             self.receivers[sid] = RtpReceiver(
-                self.network, engine.CLIENT, port, codec.clock_rate, sid,
+                self.network, self.client_node, port, codec.clock_rate, sid,
                 on_frame=self.scheduler.frame_sink(sid),
             )
             self.rtp_ports[sid] = port
         for spec in self.scenario.discrete_streams():
             sid = spec.stream_id
-            port = engine._client_port
-            engine._client_port += 1
+            port = node.ports.allocate("media")
             rx = ReliableReceiver(
-                self.network, engine.CLIENT, port,
+                self.network, self.client_node, port,
                 on_message=lambda data, size, flow, _sid=sid:
                     self.scheduler.mark_loaded(_sid),
             )
@@ -526,11 +371,9 @@ class ClientComposition:
                         server_node: str) -> None:
         """Start RTCP receiver reports toward the server's sink."""
         ssrc = 0
-        for sid, receiver in sorted(self.receivers.items()):
+        for _sid, receiver in sorted(self.receivers.items()):
             ssrc += 1
-            port = self.engine._client_port
-            self.engine._client_port += 1
-            self.qos.register_stream(receiver, port, server_node,
+            self.qos.register_stream(receiver, None, server_node,
                                      server_rtcp_port, ssrc=ssrc)
 
     def start(self):
@@ -550,6 +393,8 @@ class ClientComposition:
             skew=dict(self.scheduler.skew_series()),
             protocol_bytes=dict(self.network.tap.bytes_by_protocol),
             log=self.log,
+            client_node=self.client_node,
+            rx_discarded=self.network.node(self.client_node).rx_discarded,
         )
         for spec in self.scenario.streams:
             sid = spec.stream_id

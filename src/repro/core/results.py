@@ -47,6 +47,11 @@ class SessionResult:
     protocol_bytes: dict[str, int] = field(default_factory=dict)
     log: PlayoutEventLog | None = None
     events: list[str] = field(default_factory=list)
+    #: viewer host this session ran on ("" when it never got that far)
+    client_node: str = ""
+    #: packets delivered to the viewer host but addressed to an
+    #: unbound port — nonzero means a misrouted or late flow
+    rx_discarded: int = 0
 
     # -- aggregates ---------------------------------------------------------
     def total_gaps(self) -> int:
@@ -134,4 +139,6 @@ class SessionResult:
             },
             "protocol_bytes": dict(self.protocol_bytes),
             "events": list(self.events),
+            "client_node": self.client_node,
+            "rx_discarded": self.rx_discarded,
         }

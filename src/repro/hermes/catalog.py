@@ -10,7 +10,7 @@ units."
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = ["ServerDescription", "HermesCatalog"]
 

@@ -12,7 +12,7 @@ with explorational side links.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.hml.ast import HmlDocument, LinkKind
 from repro.hml.builder import DocumentBuilder

@@ -9,8 +9,6 @@ subscribe, search, view a lesson, ask the tutor).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 from repro.core.config import EngineConfig
 from repro.core.engine import ServiceEngine
 from repro.core.results import SessionResult

@@ -20,7 +20,6 @@ from repro.hml.ast import (
     AudioElement,
     AudioVideoElement,
     HmlDocument,
-    HyperLink,
     ImageElement,
     VideoElement,
 )

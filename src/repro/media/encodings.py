@@ -16,7 +16,7 @@ MPEG/AVI video, PCM → ADPCM → VADPCM audio, GIF/TIFF/BMP/JPEG images.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.media.types import MediaType
 

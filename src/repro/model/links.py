@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import networkx as nx
 
-from repro.hml.ast import HmlDocument, HyperLink, LinkKind
+from repro.hml.ast import HmlDocument, LinkKind
 
 __all__ = ["DocumentWeb"]
 

@@ -12,12 +12,15 @@ scenarios, text and images) built as a go-back-N ARQ.
 
 from repro.net.packet import Packet, PacketTap, TapRecord
 from repro.net.link import Link, LinkStats
+from repro.net.ports import PortAllocator, PortExhaustedError
 from repro.net.topology import Network, Node
+from repro.net.builder import AccessLinkSpec, TopologyBuilder
 from repro.net.impairments import GilbertElliottLoss
 from repro.net.channel import DatagramSocket, ReliableSender, ReliableReceiver
 from repro.net.traffic import OnOffTrafficSource, PoissonTrafficSource
 
 __all__ = [
+    "AccessLinkSpec",
     "DatagramSocket",
     "GilbertElliottLoss",
     "Link",
@@ -28,7 +31,10 @@ __all__ = [
     "Packet",
     "PacketTap",
     "PoissonTrafficSource",
+    "PortAllocator",
+    "PortExhaustedError",
     "ReliableReceiver",
     "ReliableSender",
     "TapRecord",
+    "TopologyBuilder",
 ]

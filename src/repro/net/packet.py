@@ -48,7 +48,7 @@ class TapRecord:
     """One delivered (or dropped) packet, as seen by the tap."""
 
     time: float
-    event: str  # "deliver" | "drop-queue" | "drop-loss"
+    event: str  # "deliver" | "drop-queue" | "drop-loss" | "rx-discard"
     protocol: str
     flow_id: str
     src: str
@@ -64,6 +64,8 @@ class PacketTap:
         self.records: list[TapRecord] = []
         self.bytes_by_protocol: dict[str, int] = {}
         self.count_by_protocol: dict[str, int] = {}
+        #: packets delivered to a node but addressed to an unbound port
+        self.discards_by_node: dict[str, int] = {}
         self.enabled_detail = True
 
     def record(self, time: float, event: str, pkt: Packet) -> None:
@@ -87,6 +89,30 @@ class PacketTap:
             self.count_by_protocol[pkt.protocol] = (
                 self.count_by_protocol.get(pkt.protocol, 0) + 1
             )
+
+    def record_discard(self, time: float, node_id: str, pkt: Packet) -> None:
+        """An endpoint dropped a delivered packet: no handler on its port."""
+        self.discards_by_node[node_id] = \
+            self.discards_by_node.get(node_id, 0) + 1
+        if self.enabled_detail:
+            self.records.append(
+                TapRecord(
+                    time=time,
+                    event="rx-discard",
+                    protocol=pkt.protocol,
+                    flow_id=pkt.flow_id,
+                    src=pkt.src,
+                    dst=pkt.dst,
+                    size_bytes=pkt.size_bytes,
+                    seq=pkt.seq,
+                )
+            )
+
+    def rx_discarded(self, node_id: str | None = None) -> int:
+        """Total unbound-port discards (optionally for one node)."""
+        if node_id is not None:
+            return self.discards_by_node.get(node_id, 0)
+        return sum(self.discards_by_node.values())
 
     def protocols_for_flow(self, flow_id: str) -> set[str]:
         return {r.protocol for r in self.records if r.flow_id == flow_id}

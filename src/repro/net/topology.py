@@ -19,19 +19,27 @@ import networkx as nx
 from repro.des import Simulator
 from repro.net.link import Link
 from repro.net.packet import Packet, PacketTap
+from repro.net.ports import PortAllocator
 
 __all__ = ["Node", "Network"]
 
 
 class Node:
-    """A host or switch; applications bind handlers to ports."""
+    """A host or switch; applications bind handlers to ports.
+
+    Each node owns a :class:`~repro.net.ports.PortAllocator`, so port
+    namespaces are per-host: two client hosts can each bind port
+    40 000 without conflict.
+    """
 
     def __init__(self, network: "Network", node_id: str) -> None:
         self.network = network
         self.node_id = node_id
+        self.ports = PortAllocator(node_id)
         self._ports: dict[int, Callable[[Packet], None]] = {}
         self.rx_packets = 0
         self.rx_bytes = 0
+        self.rx_discarded = 0
 
     def bind(self, port: int, handler: Callable[[Packet], None]) -> None:
         if port in self._ports:
@@ -41,13 +49,21 @@ class Node:
     def unbind(self, port: int) -> None:
         self._ports.pop(port, None)
 
+    def bound_ports(self) -> list[int]:
+        return sorted(self._ports)
+
     def deliver(self, pkt: Packet) -> None:
         self.rx_packets += 1
         self.rx_bytes += pkt.size_bytes
         handler = self._ports.get(pkt.dst_port)
         if handler is not None:
             handler(pkt)
-        # Unbound ports silently discard, as an OS would.
+            return
+        # Unbound ports discard, as an OS would — but count it, so a
+        # misrouted flow is observable rather than silently black-holed.
+        self.rx_discarded += 1
+        self.network.tap.record_discard(self.network.sim.now, self.node_id,
+                                        pkt)
 
 
 class Network:

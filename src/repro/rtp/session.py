@@ -9,7 +9,7 @@ upstream.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from repro.des import Simulator
@@ -18,7 +18,7 @@ from repro.net.channel import DatagramSocket
 from repro.net.packet import Packet
 from repro.net.topology import Network
 from repro.rtp.jitter import InterarrivalJitterEstimator
-from repro.rtp.packets import RTP_HEADER_BYTES, SEQ_MODULUS, RtpPacket
+from repro.rtp.packets import SEQ_MODULUS, RtpPacket
 
 __all__ = ["RtpSender", "RtpReceiver", "RtpReceiverStats"]
 

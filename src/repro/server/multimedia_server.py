@@ -11,7 +11,7 @@ calls into.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.des import Simulator
 from repro.media.encodings import CodecRegistry

@@ -18,7 +18,7 @@ actions, which the per-stream Media Stream Quality Converters apply:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.des import Simulator
 from repro.media.types import MediaType

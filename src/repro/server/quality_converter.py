@@ -12,7 +12,7 @@ transitions to it, recording the trajectory for the experiments.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.media.encodings import SUSPENDED, Codec
 from repro.media.traces import FrameSource

@@ -9,7 +9,7 @@ in both wall time and presentation time.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = ["Annotation", "AnnotationStore"]
 

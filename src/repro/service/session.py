@@ -10,7 +10,6 @@ process) that drive the Figure 4 state machine.
 
 from __future__ import annotations
 
-import itertools
 from typing import Any, Generator
 
 from repro.des import Simulator
@@ -21,9 +20,6 @@ from repro.service.states import SessionEvent as E
 from repro.service.states import SessionState, SessionStateMachine
 
 __all__ = ["ServerSessionHandler", "ClientSession"]
-
-#: RTCP sink ports, global pool (several handlers may share a host).
-_sink_ports = itertools.count(30_000)
 
 
 class ServerSessionHandler:
@@ -53,7 +49,14 @@ class ServerSessionHandler:
         endpoint.on_message = self._on_message
 
     def _next_port(self) -> int:
-        return next(_sink_ports)
+        """An RTCP sink port from the server host's own allocator.
+
+        Per-node (not process-global), so two engines in one process —
+        and several handlers sharing one host — stay deterministic and
+        conflict-free.
+        """
+        network = _network_of(self.server)
+        return network.node(self.server.node_id).ports.allocate("rtcp")
 
     # -- dispatch ----------------------------------------------------------
     def _on_message(self, msg: ControlMessage) -> None:

@@ -1,7 +1,5 @@
 """End-to-end integration tests of the full service engine."""
 
-import pytest
-
 from repro.core import EngineConfig, ServiceEngine, TrafficConfig
 from repro.hml.examples import figure2_markup
 from repro.hml import DocumentBuilder, serialize

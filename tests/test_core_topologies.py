@@ -1,7 +1,5 @@
 """Tests for engine topology options and full-stack interactive ops."""
 
-import pytest
-
 from repro.core import EngineConfig, ServiceEngine
 from repro.core.experiments import av_markup
 from repro.hml.examples import figure2_markup

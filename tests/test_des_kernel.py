@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.des import AllOf, AnyOf, Event, Interrupt, Simulator, Timeout
+from repro.des import AllOf, AnyOf, Interrupt, Simulator
 
 
 def test_clock_starts_at_zero():

@@ -30,9 +30,6 @@ def test_lesson_builder_produces_valid_document():
     issues = [i for i in validate_document(lesson.document) if i.is_error]
     assert not issues
     assert lesson.title == "Networking 101"
-    # Media are laid out back-to-back in scenario time.
-    sched = {e.element_id if hasattr(e, "element_id") else None
-             for e in lesson.document.media_elements()}
     assert parse(lesson.markup).title == "Networking 101"
 
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.hml import HmlSyntaxError, KEYWORDS, Token, TokenKind, tokenize
+from repro.hml import HmlSyntaxError, KEYWORDS, TokenKind, tokenize
 from repro.hml.tokens import (
     ATTRIBUTE_KEYWORDS,
     ELEMENT_KEYWORDS,

@@ -1,7 +1,5 @@
 """Unit tests for playout-schedule extraction (the E_i structures)."""
 
-import pytest
-
 from repro.hml import DocumentBuilder
 from repro.hml.examples import Figure2Times, figure2_document
 from repro.media import MediaType

@@ -6,7 +6,7 @@ from repro.core import EngineConfig, ServiceEngine
 from repro.core.experiments import av_markup
 from repro.des import RngRegistry, Simulator
 from repro.net import GilbertElliottLoss, Network, Packet
-from repro.net.atm import AtmLink, CELL_BYTES, CELL_PAYLOAD_BYTES, cells_for
+from repro.net.atm import AtmLink, CELL_BYTES, cells_for
 
 
 def test_cells_for():

@@ -3,7 +3,15 @@
 import pytest
 
 from repro.des import RngRegistry, Simulator
-from repro.net import GilbertElliottLoss, Network, Packet
+from repro.net import (
+    AccessLinkSpec,
+    GilbertElliottLoss,
+    Network,
+    Packet,
+    PortAllocator,
+    PortExhaustedError,
+    TopologyBuilder,
+)
 
 
 def simple_net(rate=1_000_000, delay=0.01, queue=100):
@@ -96,12 +104,96 @@ def test_loopback_delivery():
     assert len(got) == 1  # immediate, no sim.run needed
 
 
-def test_unbound_port_discards_silently():
+def test_unbound_port_discard_is_counted():
     sim, net = simple_net()
     net.send(Packet(src="a", dst="b", size_bytes=100, protocol="UDP",
                     flow_id="f", dst_port=404))
     sim.run()
     assert net.node("b").rx_packets == 1  # received, no handler
+    assert net.node("b").rx_discarded == 1
+    assert net.node("a").rx_discarded == 0
+    assert net.tap.rx_discarded() == 1
+    assert net.tap.rx_discarded("b") == 1
+    assert net.tap.discards_by_node == {"b": 1}
+    discard_records = [r for r in net.tap.records if r.event == "rx-discard"]
+    assert len(discard_records) == 1
+    assert discard_records[0].dst == "b"
+
+
+def test_bound_port_not_counted_as_discard():
+    sim, net = simple_net()
+    net.node("b").bind(5, lambda p: None)
+    net.send(Packet(src="a", dst="b", size_bytes=100, protocol="UDP",
+                    flow_id="f", dst_port=5))
+    sim.run()
+    assert net.node("b").rx_discarded == 0
+    assert net.tap.rx_discarded() == 0
+
+
+def test_port_allocator_sequences_and_isolation():
+    alloc_a = PortAllocator("a")
+    alloc_b = PortAllocator("b")
+    # Sequential within a range, independent across nodes.
+    assert [alloc_a.allocate("media") for _ in range(3)] == \
+        [40_000, 40_001, 40_002]
+    assert alloc_b.allocate("media") == 40_000
+    assert alloc_a.allocate("rtcp") == 30_000
+    assert alloc_a.next_free("media") == 40_003
+    assert alloc_a.allocated("media") == 3
+    base = alloc_a.allocate_block(10, "control")
+    assert base == 10_000
+    assert alloc_a.next_free("control") == 10_010
+
+
+def test_port_allocator_claim_coordinates_two_nodes():
+    client, server = PortAllocator("c"), PortAllocator("s")
+    server.claim(10_000, 10, "control")  # another client took this block
+    base = max(client.next_free("control"), server.next_free("control"))
+    assert base == 10_010
+    client.claim(base, 10, "control")
+    server.claim(base, 10, "control")
+    assert client.next_free("control") == 10_020
+    with pytest.raises(ValueError):
+        client.claim(10_005, 10, "control")  # below the cursor
+
+
+def test_port_allocator_exhaustion_is_explicit():
+    alloc = PortAllocator("tiny", ranges={"r": (1, 3)})
+    assert alloc.allocate("r") == 1
+    assert alloc.allocate("r") == 2
+    with pytest.raises(PortExhaustedError) as exc:
+        alloc.allocate("r")
+    assert "tiny" in str(exc.value) and "'r'" in str(exc.value)
+    with pytest.raises(KeyError):
+        alloc.allocate("nope")
+
+
+def test_topology_builder_star():
+    sim = Simulator()
+    net = Network(sim)
+    tb = TopologyBuilder(net, router="r", backbone_rate_bps=50e6,
+                         backbone_delay_s=0.002)
+    tb.add_client("c1", AccessLinkSpec(rate_bps=5e6, delay_s=0.01))
+    tb.add_client("c2", AccessLinkSpec(rate_bps=2e6, delay_s=0.02))
+    tb.add_server_host("h1")
+    tb.add_traffic_host("x1")
+    assert tb.clients == ["c1", "c2"]
+    assert tb.server_hosts == ["h1"]
+    assert tb.traffic_hosts == ["x1"]
+    # Per-client link parameters took effect, in both directions.
+    assert net.link("r", "c1").rate_bps == 5e6
+    assert net.link("c2", "r").rate_bps == 2e6
+    # Everything routes through the star's router.
+    assert net.path("c1", "h1") == ["c1", "r", "h1"]
+    assert net.path("h1", "c2") == ["h1", "r", "c2"]
+    assert net.path("c1", "c2") == ["c1", "r", "c2"]
+
+
+def test_access_link_spec_validation():
+    with pytest.raises(ValueError):
+        AccessLinkSpec(rate_bps=0)
+    with pytest.raises(ValueError):
+        AccessLinkSpec(queue_packets=0)
 
 
 def test_gilbert_elliott_loss_on_link():

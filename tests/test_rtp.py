@@ -5,7 +5,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.des import RngRegistry, Simulator
-from repro.media import FrameKind, default_registry
+from repro.media import FrameKind
 from repro.media.types import Frame
 from repro.net import GilbertElliottLoss, Network
 from repro.rtp import (
@@ -164,7 +164,6 @@ def test_jitter_positive_for_variable_arrivals():
 def test_jitter_converges_toward_mean_abs_transit_delta():
     est = InterarrivalJitterEstimator(CLOCK)
     # Alternating +5ms/-5ms transit: |D| alternates 10ms after first.
-    t = 0.0
     for i in range(2000):
         jitter_off = 0.005 if i % 2 == 0 else 0.0
         est.observe(i * 0.04 + jitter_off, i * 3600)
@@ -230,7 +229,7 @@ def test_rtcp_fraction_lost_under_loss():
 def test_rtcp_reporter_stop():
     sim, net = build()
     tx, rx = endpoints(net)
-    sink = RtcpSink(net, "srv", 5006)
+    RtcpSink(net, "srv", 5006)
     rep = RtcpReporter(net, rx, "cli", 5007, "srv", 5006, ssrc=1, interval_s=0.5)
     sim.run(until=1.2)
     rep.stop()

@@ -4,7 +4,7 @@ import pytest
 
 from repro.hml import DocumentBuilder, serialize
 from repro.hml.examples import figure2_document
-from repro.media import MediaType, default_registry
+from repro.media import default_registry
 from repro.model import PresentationScenario
 from repro.server import FlowScheduler, MultimediaDatabase
 from repro.server.accounts import QoSPreferences

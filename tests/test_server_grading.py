@@ -4,7 +4,6 @@ import pytest
 
 from repro.des import RngRegistry, Simulator
 from repro.media import MediaType, default_registry
-from repro.media.encodings import SUSPENDED
 from repro.media.traces import FrameSource
 from repro.rtp.packets import RtcpReceiverReport
 from repro.server import (

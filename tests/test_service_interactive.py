@@ -3,8 +3,7 @@ annotations, media disabling, and timed-link autoplay."""
 
 import pytest
 
-from repro.core import EngineConfig, ServiceEngine
-from repro.core.experiments import av_markup
+from repro.core import ServiceEngine
 from repro.hml import DocumentBuilder, serialize
 from repro.service import AnnotationStore, NavigationHistory
 

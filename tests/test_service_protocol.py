@@ -3,7 +3,7 @@
 import pytest
 
 from repro.des import Simulator
-from repro.hml import DocumentBuilder, serialize
+from repro.hml import DocumentBuilder
 from repro.net import Network
 from repro.server import (
     AccountRegistry,

@@ -2,8 +2,6 @@
 
 from xml.etree import ElementTree as ET
 
-import pytest
-
 from repro.client import VirtualRenderer
 from repro.hml import DocumentBuilder
 from repro.hml.examples import figure2_document
