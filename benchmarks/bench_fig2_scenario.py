@@ -63,7 +63,7 @@ def test_fig2_presentation_realizes_timeline(once):
     def run():
         eng = ServiceEngine()
         eng.add_server("srv1", documents={"fig2": (figure2_markup(), "demo")})
-        return eng.run_full_session("srv1", "fig2")
+        return eng.orchestrator.run_full_session("srv1", "fig2")
 
     result = once(run)
     assert result.completed

@@ -88,7 +88,7 @@ def test_engine_session_throughput(once):
     def run():
         eng = ServiceEngine()
         eng.add_server("srv1", documents={"doc": (av_markup(6.0), "demo")})
-        return eng.run_full_session("srv1", "doc")
+        return eng.orchestrator.run_full_session("srv1", "doc")
 
     result = once(run)
     assert result.completed

@@ -1,0 +1,234 @@
+"""Observability overhead benchmark.
+
+Guards the tentpole's zero-overhead promise: with tracing disabled
+(the default), the instrumented hot paths — kernel event dispatch and
+per-packet network forwarding — must run within 5% of an
+uninstrumented baseline (the same code with the trace branches
+removed). With a :class:`RecordingTracer` attached, the run must
+actually record the events the instrumentation promises.
+
+Run standalone for a timing table:
+
+    PYTHONPATH=src python benchmarks/bench_perf_obs.py
+
+or through pytest:
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_perf_obs.py -q
+
+Set ``OBS_BENCH_SMOKE=1`` (CI) to shrink the workloads and relax the
+threshold for noisy shared runners.
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+import time
+from contextlib import contextmanager
+
+from repro.des import QueueFullError, Simulator
+from repro.net import Network, Packet
+from repro.net.link import Link
+from repro.net.topology import Node
+from repro.obs import RecordingTracer
+
+SMOKE = os.environ.get("OBS_BENCH_SMOKE", "") not in ("", "0")
+#: max tolerated slowdown of instrumented-but-disabled vs baseline
+THRESHOLD = 0.25 if SMOKE else 0.05
+REPEATS = 3 if SMOKE else 7
+KERNEL_EVENTS = 5_000 if SMOKE else 30_000
+PACKETS = 1_000 if SMOKE else 5_000
+
+
+# -- uninstrumented twins of the hot paths -----------------------------------
+
+def _plain_step(self) -> None:
+    t, _, event = heapq.heappop(self._heap)
+    self._now = t
+    event._triggered = True
+    event._run_callbacks()
+
+
+def _plain_enqueue(self, pkt) -> bool:
+    try:
+        self.queue.put_nowait(pkt)
+        return True
+    except QueueFullError:
+        self.stats.queue_drops += 1
+        if self.on_drop is not None:
+            self.on_drop(pkt, "drop-queue")
+        return False
+
+
+def _plain_propagated(self, pkt) -> None:
+    if self.loss_model is not None and self.loss_model.is_lost():
+        self.stats.loss_drops += 1
+        if self.on_drop is not None:
+            self.on_drop(pkt, "drop-loss")
+        return
+    if self.on_arrival is not None:
+        pkt.hops += 1
+        self.on_arrival(pkt)
+
+
+def _plain_deliver(self, pkt) -> None:
+    self.rx_packets += 1
+    self.rx_bytes += pkt.size_bytes
+    handler = self._ports.get(pkt.dst_port)
+    if handler is not None:
+        handler(pkt)
+        return
+    self.rx_discarded += 1
+    self.network.tap.record_discard(self.network.sim.now, self.node_id, pkt)
+
+
+@contextmanager
+def uninstrumented():
+    """Temporarily strip the trace branches from the hot paths."""
+    saved = (Simulator.step, Link.enqueue, Link._propagated, Node.deliver)
+    Simulator.step = _plain_step
+    Link.enqueue = _plain_enqueue
+    Link._propagated = _plain_propagated
+    Node.deliver = _plain_deliver
+    try:
+        yield
+    finally:
+        (Simulator.step, Link.enqueue,
+         Link._propagated, Node.deliver) = saved
+
+
+# -- workloads (mirroring bench_perf_substrate) ------------------------------
+
+def kernel_workload(tracer=None) -> int:
+    sim = Simulator()
+    if tracer is not None:
+        sim.set_tracer(tracer)
+    count = [0]
+
+    def ticker():
+        for _ in range(KERNEL_EVENTS):
+            yield sim.timeout(0.001)
+            count[0] += 1
+
+    sim.process(ticker())
+    sim.run()
+    return count[0]
+
+
+def network_workload(tracer=None) -> int:
+    sim = Simulator()
+    if tracer is not None:
+        sim.set_tracer(tracer)
+    net = Network(sim)
+    for n in ("a", "r1", "r2", "b"):
+        net.add_node(n)
+    net.add_duplex_link("a", "r1", 100e6, 0.001, queue_packets=10_000)
+    net.add_duplex_link("r1", "r2", 100e6, 0.001, queue_packets=10_000)
+    net.add_duplex_link("r2", "b", 100e6, 0.001, queue_packets=10_000)
+    got = [0]
+    net.node("b").bind(1, lambda p: got.__setitem__(0, got[0] + 1))
+
+    def sender():
+        for i in range(PACKETS):
+            net.send(Packet(src="a", dst="b", size_bytes=1000,
+                            protocol="UDP", flow_id="f", dst_port=1, seq=i))
+            yield sim.timeout(1e-5)
+
+    sim.process(sender())
+    sim.run()
+    return got[0]
+
+
+def best_of(fn, repeats: int = REPEATS) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def measure(workload) -> tuple[float, float]:
+    """(uninstrumented baseline, instrumented-with-tracing-disabled)."""
+    workload()  # warm-up outside timing
+    with uninstrumented():
+        baseline = best_of(workload)
+    disabled = best_of(workload)
+    return baseline, disabled
+
+
+# -- pytest entry points ------------------------------------------------------
+
+def test_disabled_tracing_kernel_overhead_under_threshold():
+    baseline, disabled = measure(kernel_workload)
+    overhead = disabled / baseline - 1.0
+    assert overhead < THRESHOLD, (
+        f"disabled tracing costs {overhead:.1%} on kernel dispatch "
+        f"(baseline {baseline * 1e3:.1f} ms, "
+        f"disabled {disabled * 1e3:.1f} ms)"
+    )
+
+
+def test_disabled_tracing_network_overhead_under_threshold():
+    baseline, disabled = measure(network_workload)
+    overhead = disabled / baseline - 1.0
+    assert overhead < THRESHOLD, (
+        f"disabled tracing costs {overhead:.1%} on packet forwarding "
+        f"(baseline {baseline * 1e3:.1f} ms, "
+        f"disabled {disabled * 1e3:.1f} ms)"
+    )
+
+
+def test_enabled_tracing_records_the_kernel_workload():
+    tracer = RecordingTracer()
+    assert kernel_workload(tracer) == KERNEL_EVENTS
+    counts = tracer.kind_counts()
+    # One kernel.event per fired Timeout plus the final StopIteration
+    # bookkeeping of the ticker process.
+    assert counts["kernel.event"] >= KERNEL_EVENTS
+    assert counts["process.spawn"] == 1
+    assert counts["process.finish"] == 1
+
+
+def test_enabled_tracing_records_the_network_workload():
+    tracer = RecordingTracer()
+    assert network_workload(tracer) == PACKETS
+    counts = tracer.kind_counts()
+    assert counts["net.deliver"] == PACKETS
+    # Each packet is enqueued on every hop of the 3-link path.
+    assert counts["link.enqueue"] == PACKETS * 3
+
+
+# -- standalone report --------------------------------------------------------
+
+def main() -> int:
+    from repro.analysis import render_table
+
+    rows = []
+    for name, workload in (("kernel dispatch", kernel_workload),
+                           ("packet forwarding", network_workload)):
+        baseline, disabled = measure(workload)
+        tracer = RecordingTracer()
+        t0 = time.perf_counter()
+        workload(tracer)
+        enabled = time.perf_counter() - t0
+        rows.append([
+            name,
+            f"{baseline * 1e3:.1f}",
+            f"{disabled * 1e3:.1f}",
+            f"{(disabled / baseline - 1.0) * 100:+.1f}%",
+            f"{enabled * 1e3:.1f}",
+            len(tracer.events),
+        ])
+    print(render_table(
+        f"Tracing overhead (threshold {THRESHOLD:.0%}, "
+        f"{'smoke' if SMOKE else 'full'} mode)",
+        ["workload", "baseline_ms", "disabled_ms", "overhead",
+         "enabled_ms", "events"],
+        rows,
+    ))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

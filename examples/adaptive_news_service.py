@@ -53,7 +53,7 @@ def main() -> None:
                                               "news")})
     print("Delivering a 30 s news bulletin over a 2.5 Mb/s access link;")
     print("cross traffic congests it during [8, 20) s...\n")
-    result = engine.run_full_session("news-srv", "bulletin",
+    result = engine.orchestrator.run_full_session("news-srv", "bulletin",
                                      user_id="subscriber", contract="premium")
     assert result.completed
 

@@ -47,7 +47,7 @@ def main() -> None:
     #    scheduling, parallel RTP streams, client buffering, playout.
     engine = ServiceEngine()
     engine.add_server("srv1", documents={"welcome": (markup, "demo")})
-    result = engine.run_full_session("srv1", "welcome")
+    result = engine.orchestrator.run_full_session("srv1", "welcome")
 
     assert result.completed
     rows = [

@@ -29,7 +29,7 @@ def main() -> None:
         eng = ServiceEngine(EngineConfig(access_rate_bps=8e6,
                                          admission_capacity_bps=100e6))
         eng.add_server("srv1", documents={"doc": (av_markup(8.0), "demo")})
-        results = eng.run_concurrent_sessions("srv1", "doc", n,
+        results = eng.orchestrator.run_concurrent_sessions("srv1", "doc", n,
                                               stagger_s=0.25)
         done = [r for r in results if r.completed]
         rows.append([

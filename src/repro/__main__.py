@@ -1,17 +1,23 @@
-"""Command-line front end: run any experiment or regenerate any figure.
+"""Command-line front end: experiments, figures, demos and traces.
 
 Usage:
     python -m repro list
     python -m repro run e3            # an experiment (e1..e11)
     python -m repro run fig2          # a figure/table artefact
     python -m repro demo              # the quickstart delivery
+    python -m repro trace FILE.jsonl  # summarize a recorded trace
+    python -m repro trace --record OUT.jsonl [--chrome OUT.json]
+                                      # record a traced population run
+
+Any command accepts ``--json`` to emit one machine-readable document
+instead of text tables.
 """
 
 from __future__ import annotations
 
 import sys
 
-from repro.analysis import render_table
+from repro.analysis import Reporter
 
 EXPERIMENTS = {
     "e1": ("run_time_window_sweep", "media time window vs quality"),
@@ -36,89 +42,170 @@ FIGURES = {
 }
 
 
-def _run_experiment(key: str) -> int:
+def _run_experiment(key: str, report: Reporter) -> int:
     import repro.core.experiments as exp
 
     fn_name, title = EXPERIMENTS[key]
     out = getattr(exp, fn_name)()
     headers, rows = out[0], out[1]
-    print(render_table(f"{key.upper()} — {title}", headers, rows))
+    report.table(f"{key.upper()} — {title}", headers, rows)
     return 0
 
 
-def _run_figure(key: str) -> int:
+def _run_figure(key: str, report: Reporter) -> int:
     if key == "table1":
         from repro.hml.tokens import keyword_table_rows
 
-        print(render_table("Table 1 — Description of basic keywords",
-                           ["Keyword", "Description"], keyword_table_rows()))
+        report.table("Table 1 — Description of basic keywords",
+                     ["Keyword", "Description"], keyword_table_rows())
     elif key == "fig1":
         from repro.hml.grammar import grammar_text
 
-        print("Figure 1 — Grammar of the language in BNF notation")
-        print(grammar_text())
+        report.text("Figure 1 — Grammar of the language in BNF notation",
+                    grammar_text())
     elif key == "fig2":
         from repro.hml.examples import figure2_document
         from repro.model import ascii_timeline, build_playout_schedule
 
-        print("Figure 2 — the example scenario's playout timeline")
-        print(ascii_timeline(build_playout_schedule(figure2_document())))
+        report.text("Figure 2 — the example scenario's playout timeline",
+                    ascii_timeline(build_playout_schedule(figure2_document())))
     elif key == "fig4":
         from repro.service.states import transition_table_rows
 
-        print(render_table("Figure 4 — application state transitions",
-                           ["state", "event", "next state"],
-                           transition_table_rows()))
+        report.table("Figure 4 — application state transitions",
+                     ["state", "event", "next state"],
+                     transition_table_rows())
     return 0
 
 
-def _demo() -> int:
+def _demo(report: Reporter) -> int:
     from repro.core import ServiceEngine
     from repro.core.experiments import av_markup
 
     eng = ServiceEngine()
     eng.add_server("srv1", documents={"demo": (av_markup(6.0, True), "demo")})
-    result = eng.run_full_session("srv1", "demo")
-    print(render_table(
+    result = eng.orchestrator.run_full_session("srv1", "demo")
+    report.table(
         "Demo delivery (6 s synchronized A/V + images)",
         ["stream", "frames", "gaps"],
         [[sid, s.frames_played, s.gaps]
          for sid, s in sorted(result.streams.items())],
-    ))
-    print(f"worst skew: {result.worst_skew_s() * 1e3:.1f} ms; "
-          f"startup: {result.startup_latency_s:.2f} s")
+    )
+    report.value("worst_skew_ms", round(result.worst_skew_s() * 1e3, 1))
+    report.value("startup_s", round(result.startup_latency_s, 2))
+    return 0
+
+
+def _record_trace(out_path: str, chrome_path: str | None,
+                  n_clients: int, report: Reporter) -> int:
+    """Run a traced population and export JSONL (+ Chrome trace)."""
+    from repro.core import ServiceEngine
+    from repro.core.config import EngineConfig
+    from repro.core.experiments import av_markup
+    from repro.obs import RecordingTracer, write_chrome_trace, write_jsonl
+
+    tracer = RecordingTracer()
+    eng = ServiceEngine(EngineConfig(), tracer=tracer)
+    eng.add_server("srv1", documents={"doc": (av_markup(5.0, True), "demo")})
+    pop = eng.orchestrator.run_population(n_clients, "srv1", "doc",
+                                          stagger_s=0.5)
+    n = write_jsonl(tracer.events, out_path)
+    report.value("sessions_completed", len(pop.completed()))
+    report.value("jsonl_events", n)
+    report.value("jsonl_path", out_path)
+    if chrome_path:
+        m = write_chrome_trace(tracer.events, chrome_path)
+        report.value("chrome_records", m)
+        report.value("chrome_path", chrome_path)
+    return 0
+
+
+def _trace(args: list[str], report: Reporter) -> int:
+    """``trace`` subcommand: summarize or record structured traces."""
+    from repro.obs import read_jsonl, summarize_trace, write_chrome_trace
+
+    record_to: str | None = None
+    chrome_to: str | None = None
+    top = 12
+    n_clients = 3
+    inputs: list[str] = []
+    i = 0
+    while i < len(args):
+        a = args[i]
+        if a == "--record":
+            i += 1
+            record_to = args[i]
+        elif a == "--chrome":
+            i += 1
+            chrome_to = args[i]
+        elif a == "--top":
+            i += 1
+            top = int(args[i])
+        elif a == "--clients":
+            i += 1
+            n_clients = int(args[i])
+        else:
+            inputs.append(a)
+        i += 1
+    if record_to is not None:
+        return _record_trace(record_to, chrome_to, n_clients, report)
+    if not inputs:
+        report.text("usage: python -m repro trace <file.jsonl> "
+                    "[--top N] [--chrome OUT.json]")
+        report.text("       python -m repro trace --record OUT.jsonl "
+                    "[--chrome OUT.json] [--clients N]")
+        return 2
+    for path in inputs:
+        events = read_jsonl(path)
+        for section in summarize_trace(events, top=top):
+            report.table(section["title"], section["headers"],
+                         section["rows"])
+        if chrome_to:
+            m = write_chrome_trace(events, chrome_to)
+            report.value("chrome_records", m)
+            report.value("chrome_path", chrome_to)
     return 0
 
 
 def main(argv: list[str] | None = None) -> int:
     args = list(sys.argv[1:] if argv is None else argv)
-    if not args or args[0] in ("-h", "--help", "help"):
-        print(__doc__)
-        return 0
-    cmd = args[0]
-    if cmd == "list":
-        print("experiments:")
-        for k, (_, title) in EXPERIMENTS.items():
-            print(f"  {k:<6} {title}")
-        print("figures:")
-        for k, title in FIGURES.items():
-            print(f"  {k:<6} {title}")
-        return 0
-    if cmd == "demo":
-        return _demo()
-    if cmd == "run":
-        if len(args) < 2:
-            print("usage: python -m repro run <e1..e11|table1|fig1|fig2|fig4>")
+    json_mode = "--json" in args
+    if json_mode:
+        args = [a for a in args if a != "--json"]
+    report = Reporter(json_mode=json_mode)
+    try:
+        if not args or args[0] in ("-h", "--help", "help"):
+            print(__doc__)
+            return 0
+        cmd = args[0]
+        if cmd == "list":
+            report.table("experiments", ["key", "title"],
+                         [[k, title] for k, (_, title) in
+                          EXPERIMENTS.items()])
+            report.table("figures", ["key", "title"],
+                         [[k, title] for k, title in FIGURES.items()])
+            return 0
+        if cmd == "demo":
+            return _demo(report)
+        if cmd == "trace":
+            return _trace(args[1:], report)
+        if cmd == "run":
+            if len(args) < 2:
+                report.text("usage: python -m repro run "
+                            "<e1..e11|table1|fig1|fig2|fig4>")
+                return 2
+            key = args[1].lower()
+            if key in EXPERIMENTS:
+                return _run_experiment(key, report)
+            if key in FIGURES:
+                return _run_figure(key, report)
+            report.text(f"unknown target {key!r}; "
+                        "try 'python -m repro list'")
             return 2
-        key = args[1].lower()
-        if key in EXPERIMENTS:
-            return _run_experiment(key)
-        if key in FIGURES:
-            return _run_figure(key)
-        print(f"unknown target {key!r}; try 'python -m repro list'")
+        report.text(f"unknown command {cmd!r}; try 'python -m repro help'")
         return 2
-    print(f"unknown command {cmd!r}; try 'python -m repro help'")
-    return 2
+    finally:
+        report.close()
 
 
 if __name__ == "__main__":

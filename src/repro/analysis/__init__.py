@@ -1,5 +1,6 @@
 """Result analysis and report rendering for the experiment harness."""
 
+from repro.analysis.report import Reporter
 from repro.analysis.stats import mean_ci, summarize
 from repro.analysis.tables import render_series, render_table
 from repro.analysis.traces import (
@@ -10,6 +11,7 @@ from repro.analysis.traces import (
 )
 
 __all__ = [
+    "Reporter",
     "event_rate_series",
     "gap_timeline",
     "mean_ci",

@@ -1,0 +1,63 @@
+"""Uniform CLI reporting: text tables by default, ``--json`` on demand.
+
+Every ``python -m repro`` path reports through a :class:`Reporter`
+instead of bare prints, so any run/figure/demo/trace invocation can
+emit one machine-readable JSON document (``--json``) without touching
+the code that produces the numbers.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Any, Sequence
+
+from repro.analysis.tables import render_table
+
+__all__ = ["Reporter"]
+
+
+class Reporter:
+    """Collects sections and values; renders text or one JSON doc.
+
+    Text mode streams each section as it arrives (the historical CLI
+    behaviour); JSON mode buffers everything and :meth:`close` writes
+    a single ``{"sections": [...], "values": {...}}`` document.
+    """
+
+    def __init__(self, json_mode: bool = False, stream=None) -> None:
+        self.json_mode = json_mode
+        self.stream = stream if stream is not None else sys.stdout
+        self._doc: dict[str, Any] = {"sections": [], "values": {}}
+
+    def table(self, title: str, headers: Sequence[str],
+              rows: Sequence[Sequence[Any]]) -> None:
+        if self.json_mode:
+            self._doc["sections"].append({
+                "title": title,
+                "headers": list(headers),
+                "rows": [list(r) for r in rows],
+            })
+        else:
+            print(render_table(title, headers, rows), file=self.stream)
+
+    def text(self, title: str, body: str = "") -> None:
+        if self.json_mode:
+            self._doc["sections"].append({"title": title, "text": body})
+        else:
+            if title:
+                print(title, file=self.stream)
+            if body:
+                print(body, file=self.stream)
+
+    def value(self, key: str, value: Any) -> None:
+        if self.json_mode:
+            self._doc["values"][key] = value
+        else:
+            print(f"{key}: {value}", file=self.stream)
+
+    def close(self) -> None:
+        """Emit the buffered JSON document (no-op in text mode)."""
+        if self.json_mode:
+            json.dump(self._doc, self.stream, indent=2, default=str)
+            self.stream.write("\n")

@@ -43,7 +43,12 @@ def event_rate_series(
     if not times:
         return []
     t0, t1 = min(times), max(times)
-    n_bins = max(1, int(np.ceil((t1 - t0) / bin_s + 1e-12)) or 1)
+    if t1 <= t0:
+        # All events at one instant: a single bin covering [t0, t0+bin_s)
+        # (ceil of a zero span would otherwise yield zero bins).
+        n_bins = 1
+    else:
+        n_bins = int(np.ceil((t1 - t0) / bin_s + 1e-12))
     hits = [e.time for e in log.events
             if e.stream_id == stream_id and e.kind is kind]
     counts, edges = np.histogram(

@@ -49,6 +49,22 @@ class PlayoutEventLog:
 
     def __init__(self) -> None:
         self.events: list[PlayoutEvent] = []
+        self._tracer = None
+        self._session = ""
+        self._tracing = False
+
+    def set_tracer(self, tracer, session: str = "") -> None:
+        """Forward non-FRAME events to a structured tracer.
+
+        FRAME events are the hot path (one per presented frame) and
+        stay out of the trace; gaps, drops, duplicates and lifecycle
+        events carry the diagnostic signal.
+        """
+        self._tracer = tracer
+        self._session = session
+        self._tracing = tracer is not None and bool(
+            getattr(tracer, "enabled", False)
+        )
 
     def record(
         self,
@@ -62,6 +78,10 @@ class PlayoutEventLog:
             PlayoutEvent(time=time, stream_id=stream_id, kind=kind,
                          media_time_s=media_time_s, grade=grade)
         )
+        if self._tracing and kind is not PlayoutEventKind.FRAME:
+            self._tracer.emit(time, f"playout.{kind.value}", stream_id,
+                              session=self._session,
+                              media_time_s=media_time_s, grade=grade)
 
     # -- selections -----------------------------------------------------
     def for_stream(self, stream_id: str) -> list[PlayoutEvent]:

@@ -63,6 +63,17 @@ class BufferMonitor:
         self.stats = MonitorStats()
         self._state = BufferState.NORMAL
         self._consecutive_duplicates = 0
+        self._tracer = None
+        self._session = ""
+        self._tracing = False
+
+    def set_tracer(self, tracer, session: str = "") -> None:
+        """Emit ``buffer.watermark`` events on zone crossings."""
+        self._tracer = tracer
+        self._session = session
+        self._tracing = tracer is not None and bool(
+            getattr(tracer, "enabled", False)
+        )
 
     @property
     def state(self) -> BufferState:
@@ -85,6 +96,12 @@ class BufferMonitor:
             elif new_state is BufferState.HIGH:
                 self.stats.high_entries += 1
             self.stats.state_trace.append((now, new_state))
+            if self._tracing:
+                self._tracer.emit(
+                    now, "buffer.watermark", self.buffer.stream_id,
+                    session=self._session, state=new_state.value,
+                    ratio=round(self.buffer.occupancy_ratio, 4),
+                )
             self._state = new_state
         if self._state is BufferState.LOW and not self.buffer.is_empty:
             # Stretch what we have: recommend repeating frames so the

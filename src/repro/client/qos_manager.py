@@ -76,6 +76,11 @@ class ClientQoSManager:
         if rtcp_port is None:
             rtcp_port = self.network.node(self.node_id).ports.allocate("media")
         self._receivers[stream_id] = receiver
+        sim = self.network.sim
+        if sim._tracing:
+            sim._tracer.emit(sim.now, "qos.stream", stream_id,
+                             node=self.node_id, rtcp_port=rtcp_port,
+                             interval_s=self.report_interval_s)
         reporter = RtcpReporter(
             self.network, receiver, self.node_id, rtcp_port,
             server_node, server_rtcp_port, ssrc=ssrc,

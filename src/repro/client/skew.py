@@ -69,6 +69,17 @@ class SkewController:
         self.stats = SkewControllerStats()
         self._positions: dict[str, float] = {}
         self._active: dict[str, bool] = {}
+        self._tracer = None
+        self._session = ""
+        self._tracing = False
+
+    def set_tracer(self, tracer, session: str = "") -> None:
+        """Emit ``skew.correct`` events on drop/duplicate decisions."""
+        self._tracer = tracer
+        self._session = session
+        self._tracing = tracer is not None and bool(
+            getattr(tracer, "enabled", False)
+        )
 
     # -- position reporting ----------------------------------------------
     def report_position(self, stream_id: str, media_time_s: float,
@@ -109,10 +120,19 @@ class SkewController:
             return SkewDecision("play")
         if skew > self.threshold_s:
             self.stats.duplicates += 1
+            if self._tracing:
+                self._tracer.emit(now, "skew.correct", stream_id,
+                                  session=self._session, action="duplicate",
+                                  skew_s=round(skew, 6), group=self.group)
             return SkewDecision("duplicate")
         if skew < -self.threshold_s and frame_interval_s > 0:
             behind_frames = int(-skew / frame_interval_s)
             n = max(1, min(self.max_drops_per_tick, behind_frames))
             self.stats.drops += n
+            if self._tracing:
+                self._tracer.emit(now, "skew.correct", stream_id,
+                                  session=self._session, action="drop",
+                                  skew_s=round(skew, 6), group=self.group,
+                                  drop_count=n)
             return SkewDecision("drop", drop_count=n)
         return SkewDecision("play")

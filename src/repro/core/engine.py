@@ -22,6 +22,7 @@ compatibility.
 from __future__ import annotations
 
 import itertools
+import warnings
 from typing import Any
 
 from repro.client.presentation import PresentationScheduler, StreamBinding
@@ -63,9 +64,12 @@ class ServiceEngine:
     CLIENT = "client"
     ROUTER = "router"
 
-    def __init__(self, config: EngineConfig | None = None) -> None:
+    def __init__(self, config: EngineConfig | None = None,
+                 tracer=None) -> None:
         self.config = config if config is not None else EngineConfig()
         self.sim = Simulator()
+        if tracer is not None:
+            self.sim.set_tracer(tracer)
         self.rng = RngRegistry(seed=self.config.seed)
         self.codecs: CodecRegistry = default_registry()
         self.network = Network(self.sim)
@@ -288,16 +292,36 @@ class ServiceEngine:
             self._orchestrator = SessionOrchestrator(self)
         return self._orchestrator
 
+    @property
+    def tracer(self):
+        """The tracer bound to this engine's simulator (``None`` off)."""
+        return self.sim.tracer
+
     def run_full_session(self, *args, **kwargs) -> SessionResult:
         """Deprecated: use ``engine.orchestrator.run_full_session``."""
+        warnings.warn(
+            "ServiceEngine.run_full_session is deprecated; use "
+            "engine.orchestrator.run_full_session",
+            DeprecationWarning, stacklevel=2,
+        )
         return self.orchestrator.run_full_session(*args, **kwargs)
 
     def run_concurrent_sessions(self, *args, **kwargs) -> list[SessionResult]:
         """Deprecated: use ``engine.orchestrator.run_concurrent_sessions``."""
+        warnings.warn(
+            "ServiceEngine.run_concurrent_sessions is deprecated; use "
+            "engine.orchestrator.run_concurrent_sessions",
+            DeprecationWarning, stacklevel=2,
+        )
         return self.orchestrator.run_concurrent_sessions(*args, **kwargs)
 
     def run_autoplay_sequence(self, *args, **kwargs) -> list[dict[str, Any]]:
         """Deprecated: use ``engine.orchestrator.run_autoplay_sequence``."""
+        warnings.warn(
+            "ServiceEngine.run_autoplay_sequence is deprecated; use "
+            "engine.orchestrator.run_autoplay_sequence",
+            DeprecationWarning, stacklevel=2,
+        )
         return self.orchestrator.run_autoplay_sequence(*args, **kwargs)
 
     def run_population(self, *args, **kwargs):
@@ -366,6 +390,16 @@ class ClientComposition:
             )
             self._discrete_rx.append(rx)
             self.discrete_ports[sid] = port
+
+    def set_tracer(self, tracer, session: str = "") -> None:
+        """Wire a tracer (with session attribution) through the
+        client-side machinery: playout log, buffer monitors and skew
+        controllers."""
+        self.log.set_tracer(tracer, session)
+        for monitor in self.scheduler.monitors.values():
+            monitor.set_tracer(tracer, session)
+        for ctrl in self.scheduler.skew_controllers.values():
+            ctrl.set_tracer(tracer, session)
 
     def attach_feedback(self, server_rtcp_port: int,
                         server_node: str) -> None:

@@ -54,7 +54,7 @@ def _session(config: EngineConfig, markup: str, seed: int = 0):
     config.seed = seed
     eng = ServiceEngine(config)
     eng.add_server("srv1", documents={"doc": (markup, "exp")})
-    return eng.run_full_session("srv1", "doc")
+    return eng.orchestrator.run_full_session("srv1", "doc")
 
 
 # -------------------------------------------------------------------- E1
@@ -452,7 +452,7 @@ def run_scaling_experiment(
         eng = ServiceEngine(cfg)
         eng.add_server("srv1", documents={"doc": (av_markup(duration_s),
                                                   "exp")})
-        results = eng.run_concurrent_sessions("srv1", "doc", n,
+        results = eng.orchestrator.run_concurrent_sessions("srv1", "doc", n,
                                               stagger_s=0.25)
         done = [r for r in results if r.completed]
         rows.append([
@@ -533,7 +533,7 @@ def run_atm_comparison(duration_s: float = 10.0, seed: int = 11):
             eng = ServiceEngine(cfg)
             eng.add_server("srv1",
                            documents={"doc": (av_markup(duration_s), "exp")})
-            r = eng.run_full_session("srv1", "doc")
+            r = eng.orchestrator.run_full_session("srv1", "doc")
             rows.append([
                 "atm" if atm else "plain",
                 "yes" if lossy else "no",

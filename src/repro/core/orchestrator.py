@@ -66,6 +66,17 @@ class PopulationResult:
     """Outcome of a multi-client population run."""
 
     outcomes: list[SessionOutcome] = field(default_factory=list)
+    #: run-wide metrics rollup (sum of per-session event counts plus
+    #: any run-level instruments); filled when the engine is traced
+    metrics: dict[str, Any] = field(default_factory=dict)
+
+    def aggregate_metrics(self) -> dict[str, int]:
+        """Sum the per-session event-count snapshots across outcomes."""
+        from repro.obs.metrics import MetricsRegistry
+
+        return MetricsRegistry.merge_counts(
+            [o.result.metrics for o in self.outcomes if o.result.metrics]
+        )
 
     def __len__(self) -> int:
         return len(self.outcomes)
@@ -109,6 +120,14 @@ class SessionOrchestrator:
         user_id = client.user_id
         if start_delay_s > 0:
             yield self.sim.timeout(start_delay_s)
+        tracing = self.sim._tracing
+        session_id = handler.session_id
+        node = client_node if client_node is not None else self.engine.CLIENT
+        if tracing:
+            self.sim._tracer.span_begin(
+                self.sim.now, "session", session_id, session=session_id,
+                node=node, document=document, user=user_id,
+            )
         resp = yield from client.connect()
         if resp.msg_type == "subscribe-required" and subscribe_first:
             form = SubscriptionForm(
@@ -118,14 +137,26 @@ class SessionOrchestrator:
             resp = yield from client.subscribe(form, contract=contract)
         if resp.msg_type != "connect-ok":
             result_box["error"] = resp.body.get("reason", "rejected")
+            if tracing:
+                self.sim._tracer.span_end(
+                    self.sim.now, "session", session_id, session=session_id,
+                    outcome="rejected",
+                )
             return
         resp = yield from client.request_document(document)
         if resp.msg_type != "scenario":
             result_box["error"] = resp.body.get("reason", "no scenario")
+            if tracing:
+                self.sim._tracer.span_end(
+                    self.sim.now, "session", session_id, session=session_id,
+                    outcome="no-scenario",
+                )
             return
         comp = self.engine.build_client_composition(
             resp.body["markup"], server, client_node=client_node
         )
+        if tracing:
+            comp.set_tracer(self.sim._tracer, session_id)
         ready = yield from client.send_ready(
             comp.rtp_ports, comp.discrete_ports, lead_s=cfg.flow_lead_s
         )
@@ -146,6 +177,11 @@ class SessionOrchestrator:
         charge = yield from client.disconnect()
         result_box["comp"] = comp
         result_box["charge"] = charge
+        if tracing:
+            self.sim._tracer.span_end(
+                self.sim.now, "session", session_id, session=session_id,
+                outcome="completed", charge=charge,
+            )
 
     @staticmethod
     def _result_from_box(box: dict[str, Any],
@@ -269,14 +305,33 @@ class SessionOrchestrator:
                                      client_node=spec.client_node),
                 name=f"session-{i + 1}",
             ))
+        tracer = self.sim.tracer
+        tracing = self.sim._tracing
+        if tracing:
+            tracer.span_begin(self.sim.now, "workload",
+                              f"workload[{len(specs)}]",
+                              sessions=len(specs))
         guard = self.sim.any_of(
             [self.sim.all_of(procs), self.sim.timeout(horizon_s)]
         )
         self.sim.run(until=guard)
         self.sim.run(until=self.sim.now + 1.0)
         outcomes: list[SessionOutcome] = []
+        snapshot = tracing and hasattr(tracer, "session_snapshot")
         for spec, handler, box in entries:
             result = self._result_from_box(box, spec.document)
+            if snapshot:
+                result.metrics = tracer.session_snapshot(handler.session_id)
+                begins = [e.time for e in tracer.select(
+                    kind="session", session=handler.session_id)
+                    if e.phase == "B"]
+                ends = [e.time for e in tracer.select(
+                    kind="session", session=handler.session_id)
+                    if e.phase == "E"]
+                if begins and ends:
+                    tracer.metrics.histogram("session_duration_s").observe(
+                        max(ends) - min(begins)
+                    )
             outcomes.append(SessionOutcome(
                 session_id=handler.session_id,
                 client_node=(spec.client_node if spec.client_node is not None
@@ -288,6 +343,10 @@ class SessionOrchestrator:
                 start_at=spec.start_at,
                 result=result,
             ))
+        if tracing:
+            tracer.span_end(self.sim.now, "workload",
+                            f"workload[{len(specs)}]",
+                            completed=sum(o.completed for o in outcomes))
         return outcomes
 
     # -- multi-client populations --------------------------------------------
@@ -341,8 +400,23 @@ class SessionOrchestrator:
             )
             for i in range(n_clients)
         ]
-        return PopulationResult(self.run_workload(specs,
-                                                  horizon_s=horizon_s))
+        tracer = self.sim.tracer
+        tracing = self.sim._tracing
+        if tracing:
+            tracer.span_begin(self.sim.now, "population",
+                              f"population[{n_clients}]",
+                              clients=n_clients, server=server_name)
+        result = PopulationResult(self.run_workload(specs,
+                                                    horizon_s=horizon_s))
+        if tracing:
+            tracer.span_end(self.sim.now, "population",
+                            f"population[{n_clients}]",
+                            completed=len(result.completed()))
+            result.metrics = result.aggregate_metrics()
+            registry = getattr(tracer, "metrics", None)
+            if registry is not None:
+                result.metrics["_registry"] = registry.snapshot()
+        return result
 
     # -- autoplay ------------------------------------------------------------
     def run_autoplay_sequence(
@@ -394,6 +468,8 @@ class SessionOrchestrator:
                 comp = engine.build_client_composition(
                     resp.body["markup"], server, client_node=client_node
                 )
+                if self.sim._tracing:
+                    comp.set_tracer(self.sim._tracer, handler.session_id)
                 ready = yield from client.send_ready(
                     comp.rtp_ports, comp.discrete_ports,
                     lead_s=engine.config.flow_lead_s,

@@ -52,6 +52,9 @@ class SessionResult:
     #: packets delivered to the viewer host but addressed to an
     #: unbound port — nonzero means a misrouted or late flow
     rx_discarded: int = 0
+    #: per-session trace-event counts ({kind: count}) when the engine
+    #: ran with a recording tracer; empty otherwise
+    metrics: dict[str, int] = field(default_factory=dict)
 
     # -- aggregates ---------------------------------------------------------
     def total_gaps(self) -> int:
@@ -141,4 +144,5 @@ class SessionResult:
             "events": list(self.events),
             "client_node": self.client_node,
             "rx_discarded": self.rx_discarded,
+            "metrics": dict(self.metrics),
         }

@@ -152,6 +152,8 @@ class Process(Event):
         self.gen = gen
         self.name = name or getattr(gen, "__name__", "process")
         self._waiting_on: Event | None = None
+        if sim._tracing:
+            sim._tracer.emit(sim.now, "process.spawn", self.name)
         # Kick off at the current instant.
         init = Event(sim)
         init.callbacks.append(self._resume)
@@ -169,6 +171,9 @@ class Process(Event):
         """
         if self._triggered:
             raise RuntimeError(f"cannot interrupt finished process {self.name!r}")
+        if self.sim._tracing:
+            self.sim._tracer.emit(self.sim.now, "process.interrupt",
+                                  self.name, cause=repr(cause))
         target = self._waiting_on
         if target is not None and target.callbacks is not None:
             try:
@@ -197,14 +202,24 @@ class Process(Event):
             else:
                 target = self.gen.send(send)
         except StopIteration as stop:
+            if self.sim._tracing:
+                self.sim._tracer.emit(self.sim.now, "process.finish",
+                                      self.name, outcome="ok")
             self.succeed(stop.value)
             return
         except Interrupt:
             # Uncaught interrupt terminates the process quietly: the
             # preempted playout simply ends.
+            if self.sim._tracing:
+                self.sim._tracer.emit(self.sim.now, "process.finish",
+                                      self.name, outcome="interrupted")
             self.succeed(None)
             return
         except BaseException as exc:
+            if self.sim._tracing:
+                self.sim._tracer.emit(self.sim.now, "process.finish",
+                                      self.name, outcome="error",
+                                      error=repr(exc))
             self.fail(exc)
             return
 
@@ -296,10 +311,38 @@ class Simulator:
         self._heap: list[tuple[float, int, Event]] = []
         self._seq = itertools.count()
         self._running = False
+        # Tracing is opt-in: `_tracing` is the single boolean every
+        # instrumented hot path guards on, so a sim without a tracer
+        # pays one attribute check per hook point.
+        self._tracer = None
+        self._tracing = False
 
     @property
     def now(self) -> float:
         return self._now
+
+    # -- observability -------------------------------------------------
+    @property
+    def tracer(self):
+        """The attached tracer, or ``None`` (tracing disabled)."""
+        return self._tracer
+
+    @property
+    def tracing(self) -> bool:
+        """True when a tracer is attached and enabled."""
+        return self._tracing
+
+    def set_tracer(self, tracer) -> None:
+        """Attach (or detach, with ``None``) a structured tracer.
+
+        Anything with the :class:`repro.obs.Tracer` emit/span API and
+        an ``enabled`` flag works; the kernel deliberately doesn't
+        import :mod:`repro.obs` so the DES layer stays dependency-free.
+        """
+        self._tracer = tracer
+        self._tracing = tracer is not None and bool(
+            getattr(tracer, "enabled", False)
+        )
 
     # -- construction helpers -----------------------------------------
     def event(self) -> Event:
@@ -343,6 +386,9 @@ class Simulator:
         """Process the single next event."""
         time, _, event = heapq.heappop(self._heap)
         self._now = time
+        if self._tracing:
+            self._tracer.emit(time, "kernel.event",
+                              type(event).__name__)
         # Timeouts trigger at their fire instant (succeed()/fail() set
         # the flag eagerly for ordinary events).
         event._triggered = True

@@ -65,7 +65,7 @@ class HermesService:
                     user_id: str = "student1",
                     contract: str = "basic") -> SessionResult:
         """Full §6.2.3 workflow: connect, retrieve, present, disconnect."""
-        return self.engine.run_full_session(
+        return self.engine.orchestrator.run_full_session(
             server, lesson_name, user_id=user_id, contract=contract,
         )
 
@@ -83,7 +83,7 @@ class HermesService:
         """Play a whole course hands-off: each lesson's AT-timed
         sequential link advances to the next ("the tutor's way", in
         the absence of user involvement)."""
-        return self.engine.run_autoplay_sequence(
+        return self.engine.orchestrator.run_autoplay_sequence(
             server, first_lesson, user_id=user_id,
             max_documents=max_lessons,
         )

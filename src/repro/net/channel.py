@@ -218,6 +218,11 @@ class ReliableSender:
             return
         # Go-back-N: resend the whole outstanding window with backoff.
         self.rto_s = min(self.rto_s * 2.0, self.max_rto_s)
+        if self.sim._tracing:
+            self.sim._tracer.emit(self.sim.now, "channel.retransmit",
+                                  self.flow_id, node=self.node_id,
+                                  window=self._next - self._base,
+                                  rto_s=self.rto_s)
         for seq in range(self._base, self._next):
             self.retransmissions += 1
             self._transmit(self._segments[seq])
@@ -280,6 +285,10 @@ class ReliableReceiver:
             if payload.get("last_of_msg"):
                 size = self._msg_bytes.pop(flow, 0)
                 self.messages_received += 1
+                if self.sim._tracing:
+                    self.sim._tracer.emit(self.sim.now, "channel.message",
+                                          flow, node=self.node_id,
+                                          size_bytes=size)
                 if self.on_message is not None:
                     self.on_message(payload.get("data"), size, flow)
             ack = expected

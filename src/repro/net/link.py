@@ -83,9 +83,15 @@ class Link:
         """Offer a packet; returns False (and counts a drop) if full."""
         try:
             self.queue.put_nowait(pkt)
+            if self.sim._tracing:
+                self.sim._tracer.emit(self.sim.now, "link.enqueue",
+                                      self.name, depth=self.queue.level)
             return True
         except QueueFullError:
             self.stats.queue_drops += 1
+            if self.sim._tracing:
+                self.sim._tracer.emit(self.sim.now, "link.drop", self.name,
+                                      reason="queue", seq=pkt.seq)
             if self.on_drop is not None:
                 self.on_drop(pkt, "drop-queue")
             return False
@@ -104,6 +110,9 @@ class Link:
     def _propagated(self, pkt: Packet) -> None:
         if self.loss_model is not None and self.loss_model.is_lost():
             self.stats.loss_drops += 1
+            if self.sim._tracing:
+                self.sim._tracer.emit(self.sim.now, "link.drop", self.name,
+                                      reason="loss", seq=pkt.seq)
             if self.on_drop is not None:
                 self.on_drop(pkt, "drop-loss")
             return

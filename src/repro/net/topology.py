@@ -62,8 +62,11 @@ class Node:
         # Unbound ports discard, as an OS would — but count it, so a
         # misrouted flow is observable rather than silently black-holed.
         self.rx_discarded += 1
-        self.network.tap.record_discard(self.network.sim.now, self.node_id,
-                                        pkt)
+        sim = self.network.sim
+        if sim._tracing:
+            sim._tracer.emit(sim.now, "net.rx_discard", node=self.node_id,
+                             port=pkt.dst_port, seq=pkt.seq)
+        self.network.tap.record_discard(sim.now, self.node_id, pkt)
 
 
 class Network:
@@ -180,6 +183,10 @@ class Network:
         if pkt.src == pkt.dst:
             # Loopback: deliver immediately.
             self.tap.record(self.sim.now, "deliver", pkt)
+            if self.sim._tracing:
+                self.sim._tracer.emit(self.sim.now, "net.deliver",
+                                      node=pkt.dst, port=pkt.dst_port,
+                                      hops=0)
             self.nodes[pkt.dst].deliver(pkt)
             return True
         return self._forward(pkt, at=pkt.src)
@@ -199,6 +206,10 @@ class Network:
         def arrive(pkt: Packet, _dst: str = link.dst) -> None:
             if _dst == pkt.dst:
                 self.tap.record(self.sim.now, "deliver", pkt)
+                if self.sim._tracing:
+                    self.sim._tracer.emit(self.sim.now, "net.deliver",
+                                          node=_dst, port=pkt.dst_port,
+                                          hops=pkt.hops)
                 self.nodes[_dst].deliver(pkt)
             else:
                 self._forward(pkt, at=_dst)

@@ -1,0 +1,133 @@
+"""Trace exporters: JSONL and Chrome trace-event format.
+
+JSONL is the archival/interchange form (one event per line, stable
+keys, trivially greppable); the Chrome trace-event form loads
+directly in ``chrome://tracing`` and Perfetto, with one timeline row
+per session (and per node for network-level events), so a population
+run renders as parallel session lifelines with drops, grade changes
+and watermark crossings as instants on top.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable
+
+from repro.obs.tracer import TraceEvent
+
+__all__ = [
+    "event_to_dict",
+    "read_jsonl",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+]
+
+
+def event_to_dict(event: TraceEvent) -> dict:
+    """Compact dict form: empty correlation fields are omitted."""
+    out: dict = {"t": event.time, "kind": event.kind}
+    if event.phase != "i":
+        out["ph"] = event.phase
+    if event.name:
+        out["name"] = event.name
+    if event.session:
+        out["session"] = event.session
+    if event.node:
+        out["node"] = event.node
+    if event.args:
+        out["args"] = event.args
+    return out
+
+
+def event_from_dict(data: dict) -> TraceEvent:
+    return TraceEvent(
+        time=float(data["t"]),
+        kind=str(data["kind"]),
+        name=str(data.get("name", "")),
+        phase=str(data.get("ph", "i")),
+        session=str(data.get("session", "")),
+        node=str(data.get("node", "")),
+        args=dict(data.get("args", {})),
+    )
+
+
+def write_jsonl(events: Iterable[TraceEvent], path: str | Path) -> int:
+    """Write one JSON object per line; returns the number written."""
+    n = 0
+    with open(path, "w", encoding="utf-8") as fh:
+        for event in events:
+            fh.write(json.dumps(event_to_dict(event),
+                                separators=(",", ":")) + "\n")
+            n += 1
+    return n
+
+
+def read_jsonl(path: str | Path) -> list[TraceEvent]:
+    """Load a JSONL trace back into :class:`TraceEvent` records."""
+    events: list[TraceEvent] = []
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                events.append(event_from_dict(json.loads(line)))
+    return events
+
+
+def _track_of(event: TraceEvent) -> str:
+    """Timeline row: sessions get their own row, then nodes, then kernel."""
+    if event.session:
+        return event.session
+    if event.node:
+        return f"node:{event.node}"
+    top = event.kind.split(".", 1)[0]
+    return f"sim:{top}"
+
+
+def to_chrome_trace(events: Iterable[TraceEvent]) -> dict:
+    """Chrome trace-event JSON (the ``traceEvents`` array form).
+
+    Simulated seconds map to trace microseconds. Spans use duration
+    events ("B"/"E"); instants use "i" with thread scope. Thread-name
+    metadata rows label each track.
+    """
+    trace: list[dict] = []
+    tids: dict[str, int] = {}
+    for event in events:
+        track = _track_of(event)
+        tid = tids.get(track)
+        if tid is None:
+            tid = tids[track] = len(tids) + 1
+            trace.append({
+                "name": "thread_name", "ph": "M", "pid": 1, "tid": tid,
+                "args": {"name": track},
+            })
+        record = {
+            "name": event.name or event.kind,
+            "cat": event.kind,
+            "ph": event.phase,
+            "ts": round(event.time * 1e6, 3),
+            "pid": 1,
+            "tid": tid,
+        }
+        if event.phase == "i":
+            record["s"] = "t"
+        args = dict(event.args)
+        if event.session:
+            args["session"] = event.session
+        if event.node:
+            args["node"] = event.node
+        if args:
+            record["args"] = args
+        trace.append(record)
+    return {"traceEvents": trace, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(events: Iterable[TraceEvent],
+                       path: str | Path) -> int:
+    """Write the Chrome trace JSON; returns the trace-event count."""
+    doc = to_chrome_trace(events)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, separators=(",", ":"))
+    return len(doc["traceEvents"])

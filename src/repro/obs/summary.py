@@ -1,0 +1,119 @@
+"""Trace summarization for the ``python -m repro trace`` subcommand.
+
+Reduces an event stream to the tables an evaluation wants first:
+what happened (top kinds), per-session lifelines, where packets died
+(drop table) and how quality moved (grade-transition table).
+"""
+
+from __future__ import annotations
+
+from repro.obs.tracer import TraceEvent
+
+__all__ = ["summarize_trace"]
+
+#: kinds that count as a "drop" for the drop table
+DROP_KINDS = ("link.drop", "net.rx_discard", "playout.drop", "playout.gap")
+
+
+def _kind_table(events: list[TraceEvent], top: int) -> list[list]:
+    counts: dict[str, int] = {}
+    for e in events:
+        counts[e.kind] = counts.get(e.kind, 0) + 1
+    ranked = sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))[:top]
+    return [[kind, n] for kind, n in ranked]
+
+
+def _session_table(events: list[TraceEvent]) -> list[list]:
+    per: dict[str, dict] = {}
+    for e in events:
+        if not e.session:
+            continue
+        row = per.setdefault(e.session, {
+            "begin": None, "end": None, "events": 0, "node": "",
+        })
+        row["events"] += 1
+        if e.node and not row["node"]:
+            row["node"] = e.node
+        if e.kind == "session":
+            if e.phase == "B":
+                row["begin"] = e.time
+            elif e.phase == "E":
+                row["end"] = e.time
+    out = []
+    for sid in sorted(per, key=lambda s: (per[s]["begin"] is None,
+                                          per[s]["begin"], s)):
+        row = per[sid]
+        begin, end = row["begin"], row["end"]
+        duration = (end - begin) if begin is not None and end is not None \
+            else None
+        out.append([
+            sid, row["node"],
+            f"{begin:.3f}" if begin is not None else "-",
+            f"{end:.3f}" if end is not None else "-",
+            f"{duration:.3f}" if duration is not None else "-",
+            row["events"],
+        ])
+    return out
+
+
+def _drop_table(events: list[TraceEvent]) -> list[list]:
+    counts: dict[tuple[str, str], int] = {}
+    for e in events:
+        if e.kind in DROP_KINDS:
+            where = e.node or e.name or "-"
+            counts[(e.kind, where)] = counts.get((e.kind, where), 0) + 1
+    return [[kind, where, n]
+            for (kind, where), n in sorted(counts.items(),
+                                           key=lambda kv: (-kv[1], kv[0]))]
+
+
+def _grade_table(events: list[TraceEvent]) -> list[list]:
+    rows = []
+    for e in events:
+        if e.kind != "qos.grade":
+            continue
+        rows.append([
+            f"{e.time:.3f}", e.session or "-", e.name,
+            e.args.get("action", "-"),
+            f"{e.args.get('old', '?')} -> {e.args.get('new', '?')}",
+            e.args.get("trigger", "-"),
+        ])
+    return rows
+
+
+def summarize_trace(events: list[TraceEvent], top: int = 12) -> list[dict]:
+    """A list of table specs: {title, headers, rows} per section.
+
+    The shape feeds straight into ``render_table`` (text mode) or a
+    JSON report; only non-empty sections are returned, except the
+    headline kind table which always appears.
+    """
+    sections = [{
+        "title": f"Top event kinds ({len(events)} events)",
+        "headers": ["kind", "count"],
+        "rows": _kind_table(events, top),
+    }]
+    sessions = _session_table(events)
+    if sessions:
+        sections.append({
+            "title": "Session timelines",
+            "headers": ["session", "client", "begin_s", "end_s",
+                        "duration_s", "events"],
+            "rows": sessions,
+        })
+    drops = _drop_table(events)
+    if drops:
+        sections.append({
+            "title": "Drops and discards",
+            "headers": ["kind", "where", "count"],
+            "rows": drops,
+        })
+    grades = _grade_table(events)
+    if grades:
+        sections.append({
+            "title": "Grade transitions",
+            "headers": ["time_s", "session", "stream", "action", "grade",
+                        "trigger"],
+            "rows": grades,
+        })
+    return sections

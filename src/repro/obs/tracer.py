@@ -1,0 +1,162 @@
+"""Structured tracing: the hook-point API and the in-memory recorder.
+
+Instrumented components never import this module on their hot paths;
+they hold a tracer reference (``None`` by default) and guard every
+emit with a boolean, so disabled tracing costs one attribute check.
+
+Event model
+-----------
+
+A :class:`TraceEvent` is an instant ("i") or a span edge ("B"/"E")
+with a dotted ``kind`` (``kernel.event``, ``link.drop``,
+``qos.grade`` ...), an optional human ``name`` (process name, stream
+id), optional ``session``/``node`` correlation keys, and free-form
+``args``. Kinds in use across the stack:
+
+========================  =====================================================
+kind                      emitted by
+========================  =====================================================
+``kernel.event``          :meth:`Simulator.step` — one per fired event
+``process.spawn``         :class:`~repro.des.kernel.Process` creation
+``process.finish``        process completion (``args["outcome"]``)
+``process.interrupt``     :meth:`Process.interrupt`
+``link.enqueue``          :meth:`~repro.net.link.Link.enqueue`
+``link.drop``             queue overflow / Gilbert–Elliott loss
+``net.deliver``           packet delivered to its destination node
+``net.rx_discard``        delivered, but no handler bound on the port
+``channel.message``       reliable-channel message reassembled
+``channel.retransmit``    go-back-N window resend
+``flow.plan`` / ``.schedule``  flow-scheduler output (per session / per flow)
+``qos.grade``             server QoS manager grade transition
+``qos.stream``            client QoS manager feedback-loop registration
+``skew.correct``          skew controller drop/duplicate decision
+``buffer.watermark``      buffer monitor LOW/NORMAL/HIGH crossing
+``playout.*``             playout event log (gap, drop, duplicate, ...)
+``session`` (B/E)         orchestrator per-session lifecycle span
+``workload``/``population`` (B/E)  orchestrator run-level spans
+========================  =====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["TraceEvent", "Tracer", "RecordingTracer"]
+
+
+@dataclass(slots=True)
+class TraceEvent:
+    """One structured trace record."""
+
+    time: float
+    kind: str
+    name: str = ""
+    phase: str = "i"  # "i" instant | "B" span begin | "E" span end
+    session: str = ""
+    node: str = ""
+    args: dict[str, Any] = field(default_factory=dict)
+
+
+class Tracer:
+    """Hook-point API. The base class records nothing.
+
+    ``enabled`` is the contract with instrumentation sites: they may
+    skip argument construction entirely when it is False, so a
+    subclass that wants events must set it True.
+    """
+
+    enabled: bool = False
+
+    def emit(self, time: float, kind: str, name: str = "", *,
+             session: str = "", node: str = "",
+             **args: Any) -> None:
+        """Record an instant event."""
+
+    def span_begin(self, time: float, kind: str, name: str = "", *,
+                   session: str = "", node: str = "",
+                   **args: Any) -> None:
+        """Open a span (matched by kind+name in :meth:`span_end`)."""
+
+    def span_end(self, time: float, kind: str, name: str = "", *,
+                 session: str = "", node: str = "",
+                 **args: Any) -> None:
+        """Close the innermost span opened with the same kind+name."""
+
+
+class RecordingTracer(Tracer):
+    """Collects events in memory and counts them in a registry.
+
+    Every emit increments ``trace_events{kind=...}`` in ``metrics``
+    (and ``session_events{session=...,kind=...}`` when the event
+    carries a session id), so an exported JSONL stream always
+    reconciles with the registry snapshot — the invariant the
+    observability tests assert.
+
+    ``max_events`` bounds memory on very long runs: past the cap,
+    events still count in the registry but are no longer retained
+    (``dropped_events`` says how many were shed).
+    """
+
+    enabled = True
+
+    def __init__(self, metrics: "MetricsRegistry | None" = None,
+                 max_events: int | None = None) -> None:
+        from repro.obs.metrics import MetricsRegistry
+
+        self.events: list[TraceEvent] = []
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.max_events = max_events
+        self.dropped_events = 0
+
+    def _record(self, event: TraceEvent) -> None:
+        self.metrics.counter("trace_events", kind=event.kind).inc()
+        if event.session:
+            self.metrics.counter("session_events", session=event.session,
+                                 kind=event.kind).inc()
+        if self.max_events is not None and len(self.events) >= self.max_events:
+            self.dropped_events += 1
+            return
+        self.events.append(event)
+
+    def emit(self, time: float, kind: str, name: str = "", *,
+             session: str = "", node: str = "", **args: Any) -> None:
+        self._record(TraceEvent(time=time, kind=kind, name=name, phase="i",
+                                session=session, node=node, args=args))
+
+    def span_begin(self, time: float, kind: str, name: str = "", *,
+                   session: str = "", node: str = "", **args: Any) -> None:
+        self._record(TraceEvent(time=time, kind=kind, name=name, phase="B",
+                                session=session, node=node, args=args))
+
+    def span_end(self, time: float, kind: str, name: str = "", *,
+                 session: str = "", node: str = "", **args: Any) -> None:
+        self._record(TraceEvent(time=time, kind=kind, name=name, phase="E",
+                                session=session, node=node, args=args))
+
+    # -- queries -----------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def kind_counts(self) -> dict[str, int]:
+        """Event count per kind, from the registry (includes shed events)."""
+        return {
+            labels["kind"]: int(counter.value)
+            for labels, counter in self.metrics.series("trace_events")
+        }
+
+    def session_snapshot(self, session_id: str) -> dict[str, int]:
+        """Per-kind event counts attributed to one session."""
+        return {
+            labels["kind"]: int(counter.value)
+            for labels, counter in self.metrics.series("session_events")
+            if labels.get("session") == session_id
+        }
+
+    def select(self, kind: str | None = None,
+               session: str | None = None) -> list[TraceEvent]:
+        return [
+            e for e in self.events
+            if (kind is None or e.kind == kind)
+            and (session is None or e.session == session)
+        ]

@@ -115,7 +115,8 @@ class MultimediaServer:
             session_id=session_id,
             user=user,
             reserved_bw_bps=result.reserved_bw_bps,
-            qos_manager=ServerQoSManager(self.sim, self.grading_policy),
+            qos_manager=ServerQoSManager(self.sim, self.grading_policy,
+                                         session_id=session_id),
             started_at=self.sim.now,
             grant_ratio=result.grant_ratio,
         )
@@ -179,6 +180,20 @@ class MultimediaServer:
             initial_grade=initial_grade,
         )
         session.flow = flow
+        if self.sim._tracing:
+            self.sim._tracer.emit(
+                self.sim.now, "flow.plan", name, session=session_id,
+                node=self.node_id, flows=len(flow.flows),
+                initial_grade=initial_grade,
+            )
+            for item in flow.flows:
+                self.sim._tracer.emit(
+                    self.sim.now, "flow.schedule", item.stream_id,
+                    session=session_id,
+                    media=item.media_type.name.lower(),
+                    send_offset_s=item.send_offset_s,
+                    grade=item.initial_grade,
+                )
         return flow
 
     def locate_document(self, name: str) -> str | None:

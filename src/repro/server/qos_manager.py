@@ -67,9 +67,11 @@ class GradingDecision:
 class ServerQoSManager:
     """Per-session grading controller at the sending side."""
 
-    def __init__(self, sim: Simulator, policy: GradingPolicy | None = None) -> None:
+    def __init__(self, sim: Simulator, policy: GradingPolicy | None = None,
+                 session_id: str = "") -> None:
         self.sim = sim
         self.policy = policy if policy is not None else GradingPolicy()
+        self.session_id = session_id
         self._converters: dict[str, MediaStreamQualityConverter] = {}
         self._media_types: dict[str, MediaType] = {}
         self._clear_streak: dict[str, int] = {}
@@ -177,6 +179,12 @@ class ServerQoSManager:
                 GradingDecision(now, "degrade", report.stream_id, target,
                                 old, conv.grade_index, reason)
             )
+            if self.sim._tracing:
+                self.sim._tracer.emit(
+                    now, "qos.grade", target, session=self.session_id,
+                    action="degrade", old=old, new=conv.grade_index,
+                    trigger=report.stream_id, reason=reason,
+                )
 
     def _try_upgrade(self, report: RtcpReceiverReport) -> None:
         now = self.sim.now
@@ -206,6 +214,12 @@ class ServerQoSManager:
                 GradingDecision(now, "upgrade", report.stream_id, target,
                                 old, conv.grade_index, reason)
             )
+            if self.sim._tracing:
+                self.sim._tracer.emit(
+                    now, "qos.grade", target, session=self.session_id,
+                    action="upgrade", old=old, new=conv.grade_index,
+                    trigger=report.stream_id, reason=reason,
+                )
 
     # -- reporting -----------------------------------------------------------
     def degrades(self) -> list[GradingDecision]:

@@ -1,0 +1,50 @@
+"""The ServiceEngine.run_* shims warn but still delegate unchanged."""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.core.config import EngineConfig
+from repro.core.engine import ServiceEngine
+from repro.core.experiments import av_markup
+
+
+def engine(seed=11):
+    eng = ServiceEngine(EngineConfig(seed=seed))
+    eng.add_server("srv1", documents={"doc": (av_markup(3.0), "x")})
+    return eng
+
+
+def test_run_full_session_shim_warns_and_matches_orchestrator():
+    with pytest.warns(DeprecationWarning,
+                      match="run_full_session is deprecated"):
+        via_shim = engine().run_full_session("srv1", "doc")
+    via_orchestrator = engine().orchestrator.run_full_session("srv1", "doc")
+    assert via_shim.to_dict() == via_orchestrator.to_dict()
+
+
+def test_run_concurrent_sessions_shim_warns_and_matches():
+    with pytest.warns(DeprecationWarning,
+                      match="run_concurrent_sessions is deprecated"):
+        via_shim = engine().run_concurrent_sessions("srv1", "doc", 2,
+                                                    stagger_s=0.2)
+    direct = engine().orchestrator.run_concurrent_sessions("srv1", "doc", 2,
+                                                           stagger_s=0.2)
+    assert [r.to_dict() for r in via_shim] == [r.to_dict() for r in direct]
+
+
+def test_run_autoplay_sequence_shim_warns():
+    with pytest.warns(DeprecationWarning,
+                      match="run_autoplay_sequence is deprecated"):
+        visits = engine().run_autoplay_sequence("srv1", "doc")
+    assert visits and visits[0]["document"] == "doc"
+
+
+def test_run_population_shorthand_does_not_warn():
+    eng = engine()
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        pop = eng.run_population(2, "srv1", "doc", stagger_s=0.2)
+    assert len(pop) == 2

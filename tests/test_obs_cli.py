@@ -1,0 +1,71 @@
+"""The ``python -m repro trace`` subcommand and the ``--json`` reporter."""
+
+from __future__ import annotations
+
+import io
+import json
+
+from repro.__main__ import main
+from repro.analysis import Reporter
+from repro.obs import read_jsonl
+
+
+def test_reporter_text_mode_streams_tables():
+    out = io.StringIO()
+    rep = Reporter(json_mode=False, stream=out)
+    rep.table("T", ["a", "b"], [[1, 2]])
+    rep.value("k", 3)
+    rep.close()
+    text = out.getvalue()
+    assert "T" in text and "a" in text and "k: 3" in text
+
+
+def test_reporter_json_mode_single_document():
+    out = io.StringIO()
+    rep = Reporter(json_mode=True, stream=out)
+    rep.table("T", ["a"], [[1]])
+    rep.text("note", "body")
+    rep.value("k", 3)
+    rep.close()
+    doc = json.loads(out.getvalue())
+    assert doc["values"] == {"k": 3}
+    assert doc["sections"][0] == {"title": "T", "headers": ["a"],
+                                  "rows": [[1]]}
+    assert doc["sections"][1] == {"title": "note", "text": "body"}
+
+
+def test_cli_list_json(capsys):
+    assert main(["list", "--json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    titles = [s["title"] for s in doc["sections"]]
+    assert titles == ["experiments", "figures"]
+
+
+def test_cli_trace_record_then_summarize(tmp_path, capsys):
+    jl = tmp_path / "t.jsonl"
+    cj = tmp_path / "t.json"
+    assert main(["trace", "--record", str(jl), "--chrome", str(cj),
+                 "--clients", "2", "--json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["values"]["sessions_completed"] == 2
+    assert doc["values"]["jsonl_events"] > 0
+    events = read_jsonl(jl)
+    assert len(events) == doc["values"]["jsonl_events"]
+    chrome = json.loads(cj.read_text())
+    assert len(chrome["traceEvents"]) == doc["values"]["chrome_records"]
+
+    assert main(["trace", str(jl)]) == 0
+    text = capsys.readouterr().out
+    assert "Top event kinds" in text
+    assert "Session timelines" in text
+    assert "sess-1" in text
+
+
+def test_cli_trace_usage_without_args(capsys):
+    assert main(["trace"]) == 2
+    assert "usage" in capsys.readouterr().out
+
+
+def test_cli_run_figure_still_works(capsys):
+    assert main(["run", "table1"]) == 0
+    assert "keywords" in capsys.readouterr().out

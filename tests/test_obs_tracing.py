@@ -1,0 +1,223 @@
+"""Observability subsystem: tracer, metrics registry, exporters, and
+the reconciliation invariant across a traced population run."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.config import EngineConfig
+from repro.core.engine import ServiceEngine
+from repro.core.experiments import av_markup
+from repro.obs import (
+    MetricsRegistry,
+    RecordingTracer,
+    TraceEvent,
+    Tracer,
+    read_jsonl,
+    summarize_trace,
+    to_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+
+def traced_engine(seed=7, tracer=None, **kw):
+    eng = ServiceEngine(EngineConfig(seed=seed, **kw), tracer=tracer)
+    eng.add_server("srv1", documents={"doc": (av_markup(4.0), "x")})
+    return eng
+
+
+# -- metrics registry --------------------------------------------------------
+
+def test_counter_gauge_histogram_basics():
+    reg = MetricsRegistry()
+    c = reg.counter("events", kind="drop")
+    c.inc()
+    c.inc(2)
+    assert c.value == 3
+    with pytest.raises(ValueError):
+        c.inc(-1)
+    g = reg.gauge("depth", link="a->b")
+    g.set(4)
+    g.add(-1)
+    assert g.value == 3
+    h = reg.histogram("latency_s")
+    h.observe(0.004)
+    h.observe(0.4)
+    s = h.summary()
+    assert s["count"] == 2 and s["min"] == 0.004 and s["max"] == 0.4
+    assert sum(h.bucket_counts) == 2
+
+
+def test_registry_same_labels_same_instrument():
+    reg = MetricsRegistry()
+    assert reg.counter("n", a="1", b="2") is reg.counter("n", b="2", a="1")
+    assert reg.counter("n", a="1") is not reg.counter("n", a="2")
+
+
+def test_registry_snapshot_shape():
+    reg = MetricsRegistry()
+    reg.counter("events", kind="x").inc(5)
+    reg.gauge("depth").set(2)
+    reg.histogram("d").observe(1.0)
+    snap = reg.snapshot()
+    assert snap["events"]["kind=x"] == 5
+    assert snap["depth"][""] == 2
+    assert snap["d"][""]["count"] == 1
+    json.dumps(snap)  # must be JSON-serializable
+
+
+def test_merge_counts():
+    merged = MetricsRegistry.merge_counts([{"a": 1, "b": 2}, {"a": 3}])
+    assert merged == {"a": 4, "b": 2}
+
+
+# -- tracer -----------------------------------------------------------------
+
+def test_noop_tracer_is_disabled_and_silent():
+    t = Tracer()
+    assert t.enabled is False
+    t.emit(0.0, "kernel.event", "x")
+    t.span_begin(0.0, "session", "s")
+    t.span_end(1.0, "session", "s")  # all no-ops
+
+
+def test_recording_tracer_counts_every_emit():
+    t = RecordingTracer()
+    t.emit(0.0, "link.drop", "a->b", node="a")
+    t.emit(1.0, "link.drop", "a->b", node="a")
+    t.emit(2.0, "qos.grade", "v1", session="sess-1", action="degrade")
+    assert len(t) == 3
+    assert t.kind_counts() == {"link.drop": 2, "qos.grade": 1}
+    assert t.session_snapshot("sess-1") == {"qos.grade": 1}
+    assert t.select(kind="link.drop") == t.events[:2]
+
+
+def test_recording_tracer_max_events_sheds_but_still_counts():
+    t = RecordingTracer(max_events=2)
+    for i in range(5):
+        t.emit(float(i), "kernel.event")
+    assert len(t.events) == 2
+    assert t.dropped_events == 3
+    assert t.kind_counts() == {"kernel.event": 5}  # registry sees all
+
+
+# -- exporters ---------------------------------------------------------------
+
+def test_jsonl_round_trip(tmp_path):
+    events = [
+        TraceEvent(0.5, "link.drop", "a->b", node="a",
+                   args={"reason": "queue"}),
+        TraceEvent(1.0, "session", "sess-1", phase="B", session="sess-1"),
+    ]
+    path = tmp_path / "t.jsonl"
+    assert write_jsonl(events, path) == 2
+    back = read_jsonl(path)
+    assert back == events
+
+
+def test_chrome_trace_tracks_and_instants():
+    events = [
+        TraceEvent(1.0, "session", "sess-1", phase="B", session="sess-1"),
+        TraceEvent(2.0, "session", "sess-1", phase="E", session="sess-1"),
+        TraceEvent(1.5, "link.drop", "a->b", node="a"),
+        TraceEvent(0.0, "kernel.event", "Timeout"),
+    ]
+    doc = to_chrome_trace(events)
+    meta = [r for r in doc["traceEvents"] if r["ph"] == "M"]
+    records = [r for r in doc["traceEvents"] if r["ph"] != "M"]
+    # one thread-name row per distinct track
+    assert {m["args"]["name"] for m in meta} == \
+        {"sess-1", "node:a", "sim:kernel"}
+    assert len(records) == 4
+    span_b = next(r for r in records if r["ph"] == "B")
+    assert span_b["ts"] == 1.0e6
+    instant = next(r for r in records if r["cat"] == "link.drop")
+    assert instant["ph"] == "i" and instant["s"] == "t"
+
+
+# -- end-to-end: traced population run ---------------------------------------
+
+def test_traced_population_reconciles_and_exports(tmp_path):
+    tracer = RecordingTracer()
+    eng = traced_engine(tracer=tracer)
+    pop = eng.orchestrator.run_population(3, "srv1", "doc", stagger_s=0.25)
+    assert len(pop.completed()) == 3
+
+    # JSONL export reconciles with the registry's per-kind counters.
+    jl = tmp_path / "trace.jsonl"
+    n = write_jsonl(tracer.events, jl)
+    assert n == len(tracer.events) > 0
+    events = read_jsonl(jl)
+    counts: dict[str, int] = {}
+    for e in events:
+        counts[e.kind] = counts.get(e.kind, 0) + 1
+    assert counts == tracer.kind_counts()
+
+    # Chrome trace carries every event (plus metadata rows).
+    cj = tmp_path / "trace.json"
+    write_chrome_trace(tracer.events, cj)
+    doc = json.loads(cj.read_text())
+    records = [r for r in doc["traceEvents"] if r["ph"] != "M"]
+    assert len(records) == len(events)
+
+    # Per-session snapshots rode along on the results and aggregate.
+    for o in pop:
+        assert o.result.metrics["session"] == 2  # B + E span edges
+        assert o.result.metrics == tracer.session_snapshot(o.session_id)
+    agg = pop.aggregate_metrics()
+    assert agg["session"] == 2 * len(pop)
+    registry_snapshot = pop.metrics["_registry"]
+    total = sum(int(v)
+                for v in registry_snapshot["trace_events"].values())
+    assert total == len(events)
+    # Session durations were observed into the run-level histogram.
+    durations = next(iter(registry_snapshot["session_duration_s"].values()))
+    assert durations["count"] == 3
+
+
+def test_trace_covers_every_layer():
+    tracer = RecordingTracer()
+    eng = traced_engine(tracer=tracer, loss_p_gb=0.05, loss_bad=0.3)
+    eng.orchestrator.run_population(2, "srv1", "doc", stagger_s=0.2)
+    kinds = set(tracer.kind_counts())
+    for expected in ("kernel.event", "process.spawn", "process.finish",
+                     "link.enqueue", "net.deliver", "channel.message",
+                     "flow.plan", "flow.schedule", "qos.stream",
+                     "playout.start", "playout.stop",
+                     "session", "workload", "population"):
+        assert expected in kinds, f"missing {expected}: {sorted(kinds)}"
+
+
+def test_tracing_does_not_perturb_the_simulation():
+    base = traced_engine(seed=5).orchestrator.run_full_session(
+        "srv1", "doc")
+    traced = traced_engine(
+        seed=5, tracer=RecordingTracer()
+    ).orchestrator.run_full_session("srv1", "doc")
+    assert traced.to_dict() == base.to_dict()
+
+
+def test_untraced_engine_has_tracing_off():
+    eng = traced_engine()
+    assert eng.sim.tracing is False
+    assert eng.tracer is None
+
+
+# -- summaries ----------------------------------------------------------------
+
+def test_summarize_trace_sections():
+    tracer = RecordingTracer()
+    eng = traced_engine(tracer=tracer)
+    eng.orchestrator.run_population(2, "srv1", "doc", stagger_s=0.2)
+    sections = summarize_trace(tracer.events)
+    titles = [s["title"] for s in sections]
+    assert titles[0].startswith("Top event kinds")
+    assert "Session timelines" in titles
+    timeline = next(s for s in sections if s["title"] == "Session timelines")
+    assert len(timeline["rows"]) == 2
+    for row in timeline["rows"]:
+        assert row[0].startswith("sess-")
+        assert row[1].startswith("client")

@@ -1,0 +1,74 @@
+"""Port-exhaustion diagnostics and rx_discarded propagation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import EngineConfig
+from repro.core.engine import ServiceEngine
+from repro.core.experiments import av_markup
+from repro.net import PortExhaustedError
+from repro.net.packet import Packet
+from repro.net.ports import PortAllocator
+from repro.obs import RecordingTracer
+
+
+# -- PortAllocator exhaustion -------------------------------------------------
+
+def test_exhaustion_error_names_node_range_and_bounds():
+    alloc = PortAllocator("clientX", ranges={"media": (100, 102)})
+    alloc.allocate("media")
+    alloc.allocate("media")
+    with pytest.raises(PortExhaustedError) as exc:
+        alloc.allocate("media")
+    err = exc.value
+    assert err.node_id == "clientX"
+    assert err.range_name == "media"
+    assert err.bounds == (100, 102)
+    assert "clientX" in str(err) and "'media'" in str(err)
+    assert "[100, 102)" in str(err)
+
+
+def test_exhaustion_from_next_free_block_and_claim():
+    alloc = PortAllocator("n", ranges={"r": (0, 4)})
+    with pytest.raises(PortExhaustedError):
+        alloc.allocate_block(5, "r")  # never fit
+    alloc.allocate_block(4, "r")
+    with pytest.raises(PortExhaustedError):
+        alloc.next_free("r")
+    with pytest.raises(PortExhaustedError):
+        alloc.claim(4, 1, "r")  # beyond the range's upper bound
+
+
+def test_exhaustion_preserves_allocator_state():
+    alloc = PortAllocator("n", ranges={"r": (0, 2)})
+    alloc.allocate("r")
+    with pytest.raises(PortExhaustedError):
+        alloc.allocate_block(2, "r")
+    # The failed block allocation must not consume the remaining port.
+    assert alloc.allocate("r") == 1
+
+
+# -- rx_discarded propagation -------------------------------------------------
+
+def test_rx_discard_reaches_tap_session_result_and_trace():
+    tracer = RecordingTracer()
+    eng = ServiceEngine(EngineConfig(seed=3), tracer=tracer)
+    srv = eng.add_server("srv1", documents={"doc": (av_markup(2.0), "x")})
+    comp = eng.build_client_composition(av_markup(2.0), srv)
+    # A stray packet to a port nothing bound on the viewer host.
+    eng.network.send(Packet(src=srv.node_id, dst=eng.CLIENT, size_bytes=100,
+                            protocol="UDP", flow_id="stray",
+                            dst_port=65_000))
+    eng.sim.run()
+    node = eng.network.node(eng.CLIENT)
+    assert node.rx_discarded == 1
+    assert eng.network.tap.rx_discarded(eng.CLIENT) == 1
+    assert eng.network.tap.discards_by_node == {eng.CLIENT: 1}
+    result = comp.collect_result("doc")
+    assert result.rx_discarded == 1
+    assert result.to_dict()["rx_discarded"] == 1
+    discards = tracer.select(kind="net.rx_discard")
+    assert len(discards) == 1
+    assert discards[0].node == eng.CLIENT
+    assert discards[0].args["port"] == 65_000

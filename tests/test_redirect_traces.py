@@ -100,6 +100,28 @@ def test_event_rate_series_bins():
         event_rate_series(log, "v", PlayoutEventKind.GAP, bin_s=0)
 
 
+def test_event_rate_series_single_instant_gets_one_bin():
+    log = PlayoutEventLog()
+    log.record(2.0, "v", PlayoutEventKind.FRAME)
+    log.record(2.0, "v", PlayoutEventKind.GAP)
+    series = event_rate_series(log, "v", PlayoutEventKind.GAP, bin_s=1.0)
+    assert series == [(2.0, 1)]
+    frames = event_rate_series(log, "v", PlayoutEventKind.FRAME, bin_s=0.25)
+    assert frames == [(2.0, 1)]
+
+
+def test_event_rate_series_exact_multiple_span():
+    log = PlayoutEventLog()
+    log.record(0.0, "v", PlayoutEventKind.FRAME)
+    log.record(2.0, "v", PlayoutEventKind.FRAME)
+    series = event_rate_series(log, "v", PlayoutEventKind.FRAME, bin_s=1.0)
+    # Span of exactly 2.0 s at 1.0 s bins keeps its historical 3-bin
+    # shape (the epsilon guard rounds the boundary up, so the last
+    # event never falls off the final edge).
+    assert len(series) == 3
+    assert sum(c for _, c in series) == 2
+
+
 def test_occupancy_series_zero_order_hold():
     samples = [(0.0, 1.0), (1.0, 3.0), (2.5, 0.5)]
     series = occupancy_series(samples, step_s=0.5)
