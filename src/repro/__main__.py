@@ -8,6 +8,9 @@ Usage:
     python -m repro trace FILE.jsonl  # summarize a recorded trace
     python -m repro trace --record OUT.jsonl [--chrome OUT.json]
                                       # record a traced population run
+    python -m repro bench [--smoke]   # benchmark trajectory artifacts
+                                      # (BENCH_<name>.json + baseline
+                                      # regression check)
 
 Any command accepts ``--json`` to emit one machine-readable document
 instead of text tables.
@@ -167,6 +170,101 @@ def _trace(args: list[str], report: Reporter) -> int:
     return 0
 
 
+def _bench(args: list[str], report: Reporter) -> int:
+    """``bench`` subcommand: run scenarios, emit BENCH_*.json, compare."""
+    import json
+    import os
+
+    from repro.obs.bench import (
+        DEFAULT_PERF_THRESHOLD,
+        DEFAULT_THRESHOLD,
+        SCENARIOS,
+        compare_to_baseline,
+        run_benchmarks,
+    )
+
+    smoke = False
+    update_baseline = False
+    out_dir = "."
+    baseline_dir = os.path.join("benchmarks", "baseline")
+    threshold = DEFAULT_THRESHOLD
+    perf_threshold = DEFAULT_PERF_THRESHOLD
+    names: list[str] = []
+    i = 0
+    while i < len(args):
+        a = args[i]
+        if a == "--smoke":
+            smoke = True
+        elif a == "--update-baseline":
+            update_baseline = True
+        elif a == "--out":
+            i += 1
+            out_dir = args[i]
+        elif a == "--baseline":
+            i += 1
+            baseline_dir = args[i]
+        elif a == "--threshold":
+            i += 1
+            threshold = float(args[i])
+        elif a == "--perf-threshold":
+            i += 1
+            perf_threshold = float(args[i])
+        elif a == "--scenario":
+            i += 1
+            names.append(args[i])
+        elif a in ("-h", "--help"):
+            report.text(
+                "usage: python -m repro bench [--smoke] [--out DIR] "
+                "[--baseline DIR] [--threshold F] [--perf-threshold F] "
+                "[--scenario NAME ...] [--update-baseline]")
+            report.text(f"scenarios: {', '.join(sorted(SCENARIOS))}")
+            return 0
+        else:
+            report.text(f"unknown bench option {a!r}")
+            return 2
+        i += 1
+
+    os.makedirs(out_dir, exist_ok=True)
+    artifacts = run_benchmarks(names or None, smoke=smoke)
+    problems: list[str] = []
+    rows = []
+    for name, artifact in artifacts.items():
+        out_path = os.path.join(out_dir, f"BENCH_{name}.json")
+        report.artifact(f"artifact:{name}", out_path, artifact)
+        qoe = artifact.get("qoe") or {}
+        rows.append([
+            name, artifact["clients"],
+            f"{artifact['wall_s']:.3f}",
+            f"{artifact['events_per_sec']:.0f}",
+            f"{artifact['completed']}/{artifact['sessions']}",
+            f"{qoe.get('score', {}).get('p50', 0.0):.1f}",
+        ])
+        base_name = f"BENCH_{name}.smoke.json" if smoke \
+            else f"BENCH_{name}.json"
+        base_path = os.path.join(baseline_dir, base_name)
+        if update_baseline:
+            os.makedirs(baseline_dir, exist_ok=True)
+            report.artifact(f"baseline:{name}", base_path, artifact)
+        elif os.path.exists(base_path):
+            with open(base_path, encoding="utf-8") as fh:
+                baseline = json.load(fh)
+            problems.extend(compare_to_baseline(
+                artifact, baseline,
+                threshold=threshold, perf_threshold=perf_threshold,
+            ))
+        else:
+            report.value(f"baseline:{name}", "missing (not compared)")
+    report.table(
+        "Benchmark trajectory" + (" (smoke)" if smoke else ""),
+        ["scenario", "clients", "wall_s", "events/s", "completed",
+         "qoe_p50"],
+        rows,
+    )
+    for problem in problems:
+        report.value("regression", problem)
+    return 1 if problems else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = list(sys.argv[1:] if argv is None else argv)
     json_mode = "--json" in args
@@ -189,6 +287,8 @@ def main(argv: list[str] | None = None) -> int:
             return _demo(report)
         if cmd == "trace":
             return _trace(args[1:], report)
+        if cmd == "bench":
+            return _bench(args[1:], report)
         if cmd == "run":
             if len(args) < 2:
                 report.text("usage: python -m repro run "

@@ -56,6 +56,18 @@ class Reporter:
         else:
             print(f"{key}: {value}", file=self.stream)
 
+    def artifact(self, key: str, path: str, doc: Any) -> None:
+        """Write ``doc`` as a JSON artifact file and report its path.
+
+        Used by the bench harness for ``BENCH_<name>.json`` trajectory
+        files: the artifact lands on disk in both modes, and the path
+        is reported like any other value.
+        """
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True, default=str)
+            fh.write("\n")
+        self.value(key, path)
+
     def close(self) -> None:
         """Emit the buffered JSON document (no-op in text mode)."""
         if self.json_mode:

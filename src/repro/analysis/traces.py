@@ -15,6 +15,7 @@ from repro.client.metrics import PlayoutEventKind, PlayoutEventLog
 __all__ = [
     "event_rate_series",
     "gap_timeline",
+    "hop_latency_series",
     "occupancy_series",
     "staircase_at",
 ]
@@ -80,6 +81,47 @@ def occupancy_series(
         out.append((round(t, 9), current))
         t += step_s
     return out
+
+
+def hop_latency_series(
+    spans,
+    hop: str = "total_s",
+    bin_s: float = 1.0,
+) -> list[tuple[float, float]]:
+    """(bin start, mean hop latency) over frame send times.
+
+    ``spans`` is any iterable (or dict) of frame-span objects exposing
+    ``sent_s`` plus the named latency attribute (``network_s``,
+    ``reassembly_s``, ``buffer_s`` or ``total_s`` on
+    :class:`repro.obs.lifecycle.FrameSpan` — duck-typed, so this
+    module stays import-independent of the tracing stack). Frames
+    that never reached the hop are skipped; empty bins are included.
+    """
+    if bin_s <= 0:
+        raise ValueError("bin_s must be positive")
+    values = spans.values() if hasattr(spans, "values") else spans
+    points = [
+        (span.sent_s, latency)
+        for span in values
+        if span.sent_s is not None
+        and (latency := getattr(span, hop)) is not None
+    ]
+    if not points:
+        return []
+    times = [t for t, _ in points]
+    t0, t1 = min(times), max(times)
+    n_bins = 1 if t1 <= t0 else int(np.ceil((t1 - t0) / bin_s + 1e-12))
+    sums = np.zeros(n_bins)
+    counts = np.zeros(n_bins)
+    for t, latency in points:
+        i = min(n_bins - 1, int((t - t0) / bin_s))
+        sums[i] += latency
+        counts[i] += 1
+    return [
+        (round(t0 + i * bin_s, 9),
+         float(sums[i] / counts[i]) if counts[i] else 0.0)
+        for i in range(n_bins)
+    ]
 
 
 def staircase_at(trajectory: list[tuple[float, float]], t: float,

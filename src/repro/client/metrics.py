@@ -54,11 +54,13 @@ class PlayoutEventLog:
         self._tracing = False
 
     def set_tracer(self, tracer, session: str = "") -> None:
-        """Forward non-FRAME events to a structured tracer.
+        """Forward playout events to a structured tracer.
 
-        FRAME events are the hot path (one per presented frame) and
-        stay out of the trace; gaps, drops, duplicates and lifecycle
-        events carry the diagnostic signal.
+        FRAME events are the hot path (one per presented frame): they
+        are traced only when the caller supplies the frame id, so the
+        lifecycle correlator can close each frame's span while legacy
+        callers stay cheap. Gaps, drops, duplicates and lifecycle
+        events always carry the diagnostic signal.
         """
         self._tracer = tracer
         self._session = session
@@ -73,15 +75,24 @@ class PlayoutEventLog:
         kind: PlayoutEventKind,
         media_time_s: float = 0.0,
         grade: int = 0,
+        frame_seq: int | None = None,
+        reason: str = "",
     ) -> None:
         self.events.append(
             PlayoutEvent(time=time, stream_id=stream_id, kind=kind,
                          media_time_s=media_time_s, grade=grade)
         )
-        if self._tracing and kind is not PlayoutEventKind.FRAME:
+        if self._tracing and (kind is not PlayoutEventKind.FRAME
+                              or frame_seq is not None):
+            extra: dict[str, object] = {}
+            if frame_seq is not None:
+                extra["frame"] = frame_seq
+            if reason:
+                extra["reason"] = reason
             self._tracer.emit(time, f"playout.{kind.value}", stream_id,
                               session=self._session,
-                              media_time_s=media_time_s, grade=grade)
+                              media_time_s=media_time_s, grade=grade,
+                              **extra)
 
     # -- selections -----------------------------------------------------
     def for_stream(self, stream_id: str) -> list[PlayoutEvent]:

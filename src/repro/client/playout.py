@@ -115,9 +115,11 @@ class PlayoutProcess:
         self.process = sim.process(self._run(), name=f"playout:{entry.stream_id}")
 
     # -- helpers ----------------------------------------------------------
-    def _record(self, kind: PlayoutEventKind, grade: int = 0) -> None:
+    def _record(self, kind: PlayoutEventKind, grade: int = 0,
+                frame_seq: int | None = None, reason: str = "") -> None:
         self.log.record(self.sim.now, self.entry.stream_id, kind,
-                        media_time_s=self.played_s, grade=grade)
+                        media_time_s=self.played_s, grade=grade,
+                        frame_seq=frame_seq, reason=reason)
 
     def _report_position(self, active: bool = True) -> None:
         if self.skew is not None:
@@ -131,8 +133,10 @@ class PlayoutProcess:
             if head is None:
                 return None
             if head.media_time < next_ticks:
-                self.buffer.drop_head()
-                self._record(PlayoutEventKind.DROP)
+                stale = self.buffer.drop_head()
+                self._record(PlayoutEventKind.DROP,
+                             frame_seq=stale.seq if stale else None,
+                             reason="stale")
                 continue
             return self.buffer.pop()
 
@@ -177,10 +181,12 @@ class PlayoutProcess:
                     action = BufferAction.NONE
                     dropped = 0
                     for _ in range(decision.drop_count):
-                        if self.buffer.drop_head() is None:
+                        shed = self.buffer.drop_head()
+                        if shed is None:
                             break
                         dropped += 1
-                        self._record(PlayoutEventKind.DROP)
+                        self._record(PlayoutEventKind.DROP,
+                                     frame_seq=shed.seq, reason="skew")
                     next_ticks += dropped * int(round(self.interval_s * clock))
                     self.played_s = min(
                         duration, self.played_s + dropped * self.interval_s
@@ -188,8 +194,10 @@ class PlayoutProcess:
                     self._report_position()
             elif action is BufferAction.DROP:
                 # Overflow: shed one buffered frame this tick.
-                if self.buffer.drop_head() is not None:
-                    self._record(PlayoutEventKind.DROP)
+                shed = self.buffer.drop_head()
+                if shed is not None:
+                    self._record(PlayoutEventKind.DROP,
+                                 frame_seq=shed.seq, reason="overflow")
                     next_ticks += int(round(self.interval_s * clock))
                     self.played_s = min(duration,
                                         self.played_s + self.interval_s)
@@ -225,7 +233,8 @@ class PlayoutProcess:
                 yield sim.timeout(self.interval_s)
                 continue
             consecutive_gaps = 0
-            self._record(PlayoutEventKind.FRAME, grade=frame.grade)
+            self._record(PlayoutEventKind.FRAME, grade=frame.grade,
+                         frame_seq=frame.seq)
             frame_time = frame.duration / clock
             self.played_s = min(duration,
                                 (frame.end_time) / clock)

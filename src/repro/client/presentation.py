@@ -90,6 +90,8 @@ class PresentationScheduler:
         self._discrete_done: dict[str, Event] = {}
         self._disabled: set[str] = set()
         self._interrupted = False
+        #: session id stamped onto buffer push/drop trace events
+        self.trace_session = ""
         self.started = False
         self.presentation_start: float | None = None
         self._start_called_at: float | None = None
@@ -142,9 +144,20 @@ class PresentationScheduler:
     def frame_sink(self, stream_id: str):
         """An ``on_frame(frame, arrival)`` callback bound to a stream."""
         buf = self.buffer_for(stream_id)
+        sim = self.sim
 
         def sink(frame: Frame, _arrival_s: float) -> None:
-            buf.push(frame)
+            accepted = buf.push(frame)
+            if sim._tracing:
+                if accepted:
+                    sim._tracer.emit(sim.now, "buffer.push", stream_id,
+                                     session=self.trace_session,
+                                     frame=frame.seq,
+                                     occupancy_s=buf.occupancy_s)
+                else:
+                    sim._tracer.emit(sim.now, "buffer.drop", stream_id,
+                                     session=self.trace_session,
+                                     frame=frame.seq, reason="overflow")
 
         return sink
 

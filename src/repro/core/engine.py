@@ -105,6 +105,7 @@ class ServiceEngine:
         return GilbertElliottLoss(
             self.rng.stream(stream_name),
             p_gb=cfg.loss_p_gb, p_bg=cfg.loss_p_bg, loss_bad=cfg.loss_bad,
+            sim=self.sim, name=stream_name,
         )
 
     def add_client(self, node_id: str | None = None,
@@ -393,13 +394,20 @@ class ClientComposition:
 
     def set_tracer(self, tracer, session: str = "") -> None:
         """Wire a tracer (with session attribution) through the
-        client-side machinery: playout log, buffer monitors and skew
-        controllers."""
+        client-side machinery: playout log, buffer monitors, skew
+        controllers, receivers and the RTCP feedback path."""
         self.log.set_tracer(tracer, session)
         for monitor in self.scheduler.monitors.values():
             monitor.set_tracer(tracer, session)
         for ctrl in self.scheduler.skew_controllers.values():
             ctrl.set_tracer(tracer, session)
+        # Session attribution for the data/feedback path: the scheduler
+        # stamps buffer events, receivers stamp frame-drop events and
+        # the QoS manager stamps the RTCP reporters it creates later.
+        self.scheduler.trace_session = session
+        self.qos.session = session
+        for receiver in self.receivers.values():
+            receiver.session = session
 
     def attach_feedback(self, server_rtcp_port: int,
                         server_node: str) -> None:

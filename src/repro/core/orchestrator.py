@@ -78,6 +78,31 @@ class PopulationResult:
             [o.result.metrics for o in self.outcomes if o.result.metrics]
         )
 
+    def qoe_summary(self) -> dict[str, Any]:
+        """Population QoE rollup (score/startup/latency percentiles).
+
+        Empty when the run was untraced (sessions carry no QoE dicts).
+        """
+        from repro.obs.qoe import SessionQoE, qoe_summary
+
+        qoes = []
+        for o in self.outcomes:
+            q = o.result.qoe
+            if not q:
+                continue
+            qoe = SessionQoE(session=q.get("session", o.session_id))
+            for key in ("score", "duration_s", "startup_s", "stall_count",
+                        "stall_time_s", "skew_violations",
+                        "degraded_time_s", "frames_sent", "frames_played",
+                        "frames_dropped", "frames_lost"):
+                if key in q:
+                    setattr(qoe, key, q[key])
+            qoe.latency = dict(q.get("latency", {}))
+            qoes.append(qoe)
+        if not qoes:
+            return {}
+        return qoe_summary(qoes)
+
     def __len__(self) -> int:
         return len(self.outcomes)
 
@@ -347,6 +372,20 @@ class SessionOrchestrator:
             tracer.span_end(self.sim.now, "workload",
                             f"workload[{len(specs)}]",
                             completed=sum(o.completed for o in outcomes))
+        if snapshot and getattr(tracer, "events", None):
+            # One correlation pass over the trace serves every session:
+            # frame spans -> per-session QoE summaries on the results.
+            from repro.obs.lifecycle import correlate_frames
+            from repro.obs.qoe import score_session
+
+            spans = correlate_frames(tracer.events)
+            for outcome in outcomes:
+                sess = outcome.session_id
+                outcome.result.qoe = score_session(
+                    tracer.events, sess,
+                    spans={k: s for k, s in spans.items()
+                           if s.session == sess},
+                ).to_dict()
         return outcomes
 
     # -- multi-client populations --------------------------------------------

@@ -55,6 +55,10 @@ class SessionResult:
     #: per-session trace-event counts ({kind: count}) when the engine
     #: ran with a recording tracer; empty otherwise
     metrics: dict[str, int] = field(default_factory=dict)
+    #: per-session QoE summary (score, startup, stalls, frame
+    #: accounting, latency percentiles — see :mod:`repro.obs.qoe`)
+    #: when the engine ran with a recording tracer; empty otherwise
+    qoe: dict[str, Any] = field(default_factory=dict)
 
     # -- aggregates ---------------------------------------------------------
     def total_gaps(self) -> int:
@@ -145,4 +149,5 @@ class SessionResult:
             "client_node": self.client_node,
             "rx_discarded": self.rx_discarded,
             "metrics": dict(self.metrics),
+            "qoe": dict(self.qoe),
         }

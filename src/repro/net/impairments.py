@@ -8,7 +8,12 @@ produce.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.des import Simulator
 
 __all__ = ["GilbertElliottLoss"]
 
@@ -35,6 +40,8 @@ class GilbertElliottLoss:
         p_bg: float = 0.3,
         loss_good: float = 0.0,
         loss_bad: float = 0.3,
+        sim: "Simulator | None" = None,
+        name: str = "",
     ) -> None:
         for name, v in (
             ("p_gb", p_gb),
@@ -52,6 +59,10 @@ class GilbertElliottLoss:
         self.in_bad = False
         self.decisions = 0
         self.losses = 0
+        #: optional tracing context: when attached to a simulator with a
+        #: live tracer, state transitions and loss decisions are emitted
+        self.sim = sim
+        self.name = name
 
     @property
     def stationary_loss_rate(self) -> float:
@@ -62,8 +73,15 @@ class GilbertElliottLoss:
             pi_b = self.p_gb / denom
         return pi_b * self.loss_bad + (1.0 - pi_b) * self.loss_good
 
-    def is_lost(self) -> bool:
-        """Advance the chain one packet and decide its fate."""
+    def is_lost(self, flow: str = "", seq: int = -1,
+                session: str = "", frame: int = -1) -> bool:
+        """Advance the chain one packet and decide its fate.
+
+        The keyword arguments are pure tracing context — callers on the
+        hot path omit them when tracing is off so the untraced cost
+        stays a plain ``is_lost()`` call.
+        """
+        was_bad = self.in_bad
         if self.in_bad:
             if self.rng.random() < self.p_bg:
                 self.in_bad = False
@@ -75,6 +93,16 @@ class GilbertElliottLoss:
         lost = bool(self.rng.random() < p)
         if lost:
             self.losses += 1
+        sim = self.sim
+        if sim is not None and sim._tracing:
+            if self.in_bad != was_bad:
+                sim._tracer.emit(sim.now, "impair.state", self.name,
+                                 state="bad" if self.in_bad else "good")
+            if lost:
+                sim._tracer.emit(sim.now, "impair.loss", self.name,
+                                 state="bad" if self.in_bad else "good",
+                                 flow=flow, seq=seq, session=session,
+                                 frame=frame)
         return lost
 
     @property

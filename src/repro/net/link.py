@@ -85,13 +85,19 @@ class Link:
             self.queue.put_nowait(pkt)
             if self.sim._tracing:
                 self.sim._tracer.emit(self.sim.now, "link.enqueue",
-                                      self.name, depth=self.queue.level)
+                                      self.name, depth=self.queue.level,
+                                      flow=pkt.flow_id, seq=pkt.seq,
+                                      session=pkt.session,
+                                      frame=pkt.frame_seq)
             return True
         except QueueFullError:
             self.stats.queue_drops += 1
             if self.sim._tracing:
                 self.sim._tracer.emit(self.sim.now, "link.drop", self.name,
-                                      reason="queue", seq=pkt.seq)
+                                      reason="queue", seq=pkt.seq,
+                                      flow=pkt.flow_id,
+                                      session=pkt.session,
+                                      frame=pkt.frame_seq)
             if self.on_drop is not None:
                 self.on_drop(pkt, "drop-queue")
             return False
@@ -108,11 +114,19 @@ class Link:
             self.sim.call_later(self.delay_s, lambda p=pkt: self._propagated(p))
 
     def _propagated(self, pkt: Packet) -> None:
-        if self.loss_model is not None and self.loss_model.is_lost():
+        if self.loss_model is not None and (
+            self.loss_model.is_lost(flow=pkt.flow_id, seq=pkt.seq,
+                                    session=pkt.session, frame=pkt.frame_seq)
+            if self.sim._tracing
+            else self.loss_model.is_lost()
+        ):
             self.stats.loss_drops += 1
             if self.sim._tracing:
                 self.sim._tracer.emit(self.sim.now, "link.drop", self.name,
-                                      reason="loss", seq=pkt.seq)
+                                      reason="loss", seq=pkt.seq,
+                                      flow=pkt.flow_id,
+                                      session=pkt.session,
+                                      frame=pkt.frame_seq)
             if self.on_drop is not None:
                 self.on_drop(pkt, "drop-loss")
             return

@@ -37,6 +37,11 @@ class Packet:
     created_at: float = 0.0
     packet_id: int = field(default_factory=lambda: next(_packet_ids))
     hops: int = 0
+    #: correlation keys for frame-lifecycle tracing: the session the
+    #: packet belongs to ("" for anonymous traffic) and the media
+    #: frame it carries a fragment of (-1 for non-frame packets)
+    session: str = ""
+    frame_seq: int = -1
 
     def __post_init__(self) -> None:
         if self.size_bytes <= 0:

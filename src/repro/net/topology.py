@@ -65,7 +65,9 @@ class Node:
         sim = self.network.sim
         if sim._tracing:
             sim._tracer.emit(sim.now, "net.rx_discard", node=self.node_id,
-                             port=pkt.dst_port, seq=pkt.seq)
+                             port=pkt.dst_port, seq=pkt.seq,
+                             flow=pkt.flow_id, session=pkt.session,
+                             frame=pkt.frame_seq)
         self.network.tap.record_discard(sim.now, self.node_id, pkt)
 
 
@@ -186,7 +188,9 @@ class Network:
             if self.sim._tracing:
                 self.sim._tracer.emit(self.sim.now, "net.deliver",
                                       node=pkt.dst, port=pkt.dst_port,
-                                      hops=0)
+                                      hops=0, flow=pkt.flow_id, seq=pkt.seq,
+                                      session=pkt.session,
+                                      frame=pkt.frame_seq)
             self.nodes[pkt.dst].deliver(pkt)
             return True
         return self._forward(pkt, at=pkt.src)
@@ -209,7 +213,9 @@ class Network:
                 if self.sim._tracing:
                     self.sim._tracer.emit(self.sim.now, "net.deliver",
                                           node=_dst, port=pkt.dst_port,
-                                          hops=pkt.hops)
+                                          hops=pkt.hops, flow=pkt.flow_id,
+                                          seq=pkt.seq, session=pkt.session,
+                                          frame=pkt.frame_seq)
                 self.nodes[_dst].deliver(pkt)
             else:
                 self._forward(pkt, at=_dst)

@@ -19,24 +19,55 @@ decisions — so every layer of the stack exposes trace hook points
 """
 
 from repro.obs.export import (
+    TRACE_SCHEMA,
+    TRACE_SCHEMA_VERSION,
+    read_chrome_trace,
     read_jsonl,
     to_chrome_trace,
     write_chrome_trace,
     write_jsonl,
 )
-from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.lifecycle import (
+    FrameSpan,
+    correlate_frames,
+    hop_latency_summary,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    log_buckets,
+)
+from repro.obs.qoe import (
+    SessionQoE,
+    qoe_summary,
+    score_session,
+    score_sessions,
+)
 from repro.obs.summary import summarize_trace
 from repro.obs.tracer import RecordingTracer, TraceEvent, Tracer
 
 __all__ = [
     "Counter",
+    "FrameSpan",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "RecordingTracer",
+    "SessionQoE",
+    "TRACE_SCHEMA",
+    "TRACE_SCHEMA_VERSION",
     "TraceEvent",
     "Tracer",
+    "correlate_frames",
+    "hop_latency_summary",
+    "log_buckets",
+    "qoe_summary",
+    "read_chrome_trace",
     "read_jsonl",
+    "score_session",
+    "score_sessions",
     "summarize_trace",
     "to_chrome_trace",
     "write_chrome_trace",

@@ -6,6 +6,14 @@ directly in ``chrome://tracing`` and Perfetto, with one timeline row
 per session (and per node for network-level events), so a population
 run renders as parallel session lifelines with drops, grade changes
 and watermark crossings as instants on top.
+
+Both forms carry a schema stamp (``repro.trace`` + version) that
+loaders validate, so a trace written by a future incompatible layout
+fails loudly instead of silently mis-parsing. JSONL stamps it as a
+header line (skipped — and not counted — by :func:`read_jsonl`;
+headerless files load as legacy version-1 traces); the Chrome form
+stamps it in the document's ``metadata`` object, which
+``chrome://tracing``/Perfetto ignore.
 """
 
 from __future__ import annotations
@@ -17,12 +25,38 @@ from typing import Iterable
 from repro.obs.tracer import TraceEvent
 
 __all__ = [
+    "TRACE_SCHEMA",
+    "TRACE_SCHEMA_VERSION",
     "event_to_dict",
+    "read_chrome_trace",
     "read_jsonl",
     "to_chrome_trace",
     "write_chrome_trace",
     "write_jsonl",
 ]
+
+#: schema identity stamped into every export
+TRACE_SCHEMA = "repro.trace"
+#: bumped on any incompatible change to the event dict layout
+TRACE_SCHEMA_VERSION = 2
+
+
+def _validate_schema(header: dict, where: str) -> int:
+    """Check a schema stamp; returns the trace's version."""
+    schema = header.get("schema")
+    if schema != TRACE_SCHEMA:
+        raise ValueError(
+            f"{where}: unknown trace schema {schema!r} "
+            f"(expected {TRACE_SCHEMA!r})"
+        )
+    version = header.get("version")
+    if not isinstance(version, int) or not 1 <= version <= \
+            TRACE_SCHEMA_VERSION:
+        raise ValueError(
+            f"{where}: unsupported {TRACE_SCHEMA} version {version!r} "
+            f"(this reader handles 1..{TRACE_SCHEMA_VERSION})"
+        )
+    return version
 
 
 def event_to_dict(event: TraceEvent) -> dict:
@@ -54,9 +88,13 @@ def event_from_dict(data: dict) -> TraceEvent:
 
 
 def write_jsonl(events: Iterable[TraceEvent], path: str | Path) -> int:
-    """Write one JSON object per line; returns the number written."""
+    """Write one JSON object per line after a schema header line;
+    returns the number of *events* written (the header is free)."""
     n = 0
     with open(path, "w", encoding="utf-8") as fh:
+        fh.write(json.dumps(
+            {"schema": TRACE_SCHEMA, "version": TRACE_SCHEMA_VERSION},
+            separators=(",", ":")) + "\n")
         for event in events:
             fh.write(json.dumps(event_to_dict(event),
                                 separators=(",", ":")) + "\n")
@@ -65,13 +103,26 @@ def write_jsonl(events: Iterable[TraceEvent], path: str | Path) -> int:
 
 
 def read_jsonl(path: str | Path) -> list[TraceEvent]:
-    """Load a JSONL trace back into :class:`TraceEvent` records."""
+    """Load a JSONL trace back into :class:`TraceEvent` records.
+
+    The schema header (first line) is validated and skipped; files
+    without one are accepted as legacy version-1 traces. A header for
+    a different schema or a future version raises ``ValueError``.
+    """
     events: list[TraceEvent] = []
+    first = True
     with open(path, encoding="utf-8") as fh:
         for line in fh:
             line = line.strip()
-            if line:
-                events.append(event_from_dict(json.loads(line)))
+            if not line:
+                continue
+            data = json.loads(line)
+            if first:
+                first = False
+                if "schema" in data:
+                    _validate_schema(data, where=str(path))
+                    continue
+            events.append(event_from_dict(data))
     return events
 
 
@@ -121,7 +172,12 @@ def to_chrome_trace(events: Iterable[TraceEvent]) -> dict:
         if args:
             record["args"] = args
         trace.append(record)
-    return {"traceEvents": trace, "displayTimeUnit": "ms"}
+    return {
+        "traceEvents": trace,
+        "displayTimeUnit": "ms",
+        "metadata": {"schema": TRACE_SCHEMA,
+                     "version": TRACE_SCHEMA_VERSION},
+    }
 
 
 def write_chrome_trace(events: Iterable[TraceEvent],
@@ -131,3 +187,20 @@ def write_chrome_trace(events: Iterable[TraceEvent],
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(doc, fh, separators=(",", ":"))
     return len(doc["traceEvents"])
+
+
+def read_chrome_trace(path: str | Path) -> dict:
+    """Load a Chrome trace document, validating its schema stamp.
+
+    Documents without a ``metadata`` stamp (written by other tools)
+    are accepted as-is; a stamp for a different schema or a future
+    version raises ``ValueError``.
+    """
+    with open(path, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        raise ValueError(f"{path}: not a Chrome trace-event document")
+    metadata = doc.get("metadata")
+    if isinstance(metadata, dict) and "schema" in metadata:
+        _validate_schema(metadata, where=str(path))
+    return doc

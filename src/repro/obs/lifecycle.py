@@ -1,0 +1,242 @@
+"""Frame-lifecycle correlation: join trace events into per-frame spans.
+
+The tracer records point events; this module reconstructs each media
+frame's journey — server packetization (``rtp.send``), link enqueues,
+network delivery, receiver reassembly (``rtp.frame``), client buffer
+admission (``buffer.push``) and finally playout or a drop at one of
+the stages — and decomposes the end-to-end latency per hop. The join
+key is ``(session, stream, frame seq)``; data-path events carry it in
+their ``session``/``name``/``args["frame"]`` fields (see
+:mod:`repro.obs.tracer`).
+
+A frame's terminal state is one of:
+
+* ``"played"``   — presented by the playout process;
+* ``"dropped"``  — explicitly discarded (reassembly gave up, buffer
+  overflow, or a stale/skew/overflow playout drop: ``drop_stage`` and
+  ``drop_reason`` say where and why);
+* ``"lost"``     — sent but never reassembled and never explicitly
+  dropped (all-fragment network loss);
+* ``"pending"``  — still in flight or buffered when the trace ended.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.obs.tracer import TraceEvent
+
+__all__ = ["FrameSpan", "correlate_frames", "hop_latency_summary"]
+
+#: ordered hops of the per-frame latency decomposition
+HOPS = ("network_s", "reassembly_s", "buffer_s")
+
+
+@dataclass(slots=True)
+class FrameSpan:
+    """One frame's reconstructed journey through the stack."""
+
+    session: str
+    stream: str
+    seq: int
+    media_time: int = -1
+    #: simulation time of each lifecycle edge (None = never reached)
+    sent_s: float | None = None
+    delivered_s: float | None = None
+    reassembled_s: float | None = None
+    buffered_s: float | None = None
+    played_s: float | None = None
+    dropped_s: float | None = None
+    #: stage ("network" | "reassembly" | "buffer" | "playout") and
+    #: reason ("loss" | "queue" | "fragments" | "overflow" | "stale" |
+    #: "skew" | ...) when the frame was dropped
+    drop_stage: str = ""
+    drop_reason: str = ""
+    #: packet accounting for the frame's fragments
+    packets: int = 0
+    packets_dropped: int = 0
+    #: times this frame was (re)sent by the server
+    retransmits: int = 0
+    #: (time, link name) of every link enqueue of a fragment
+    enqueues: list[tuple[float, str]] = field(default_factory=list)
+
+    @property
+    def key(self) -> tuple[str, str, int]:
+        return (self.session, self.stream, self.seq)
+
+    @property
+    def terminal(self) -> str:
+        if self.played_s is not None:
+            return "played"
+        if self.dropped_s is not None:
+            return "dropped"
+        if self.sent_s is not None and self.reassembled_s is None \
+                and self.packets_dropped > 0:
+            return "lost"
+        return "pending"
+
+    # -- per-hop latency decomposition ----------------------------------
+    @property
+    def network_s(self) -> float | None:
+        """Serialization + queueing + propagation: send → last delivery."""
+        if self.sent_s is None or self.delivered_s is None:
+            return None
+        return self.delivered_s - self.sent_s
+
+    @property
+    def reassembly_s(self) -> float | None:
+        """Last fragment delivery → complete frame at the receiver."""
+        if self.delivered_s is None or self.reassembled_s is None:
+            return None
+        return self.reassembled_s - self.delivered_s
+
+    @property
+    def buffer_s(self) -> float | None:
+        """Buffer residency: admission → presentation."""
+        if self.buffered_s is None or self.played_s is None:
+            return None
+        return self.played_s - self.buffered_s
+
+    @property
+    def total_s(self) -> float | None:
+        """End to end: server send → client presentation."""
+        if self.sent_s is None or self.played_s is None:
+            return None
+        return self.played_s - self.sent_s
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "session": self.session,
+            "stream": self.stream,
+            "seq": self.seq,
+            "terminal": self.terminal,
+            "sent_s": self.sent_s,
+            "played_s": self.played_s,
+            "drop_stage": self.drop_stage,
+            "drop_reason": self.drop_reason,
+            "packets": self.packets,
+            "packets_dropped": self.packets_dropped,
+            "retransmits": self.retransmits,
+            "network_s": self.network_s,
+            "reassembly_s": self.reassembly_s,
+            "buffer_s": self.buffer_s,
+            "total_s": self.total_s,
+        }
+
+
+def _frame_of(event: TraceEvent) -> int:
+    frame = event.args.get("frame", -1)
+    return frame if isinstance(frame, int) else -1
+
+
+def correlate_frames(
+    events: list[TraceEvent], session: str | None = None
+) -> dict[tuple[str, str, int], FrameSpan]:
+    """Join trace events into per-frame spans, in event order.
+
+    ``session`` restricts the join to one session's frames; the
+    default correlates every session in the trace. Events without a
+    frame id (control traffic, spans, kernel noise) are skipped.
+    """
+    spans: dict[tuple[str, str, int], FrameSpan] = {}
+    # rtp.frame_drop only knows the frame's RTP timestamp; remember
+    # the media_time -> seq mapping announced by rtp.send.
+    by_media_time: dict[tuple[str, str, int], tuple[str, str, int]] = {}
+
+    def span_for(sess: str, stream: str, seq: int) -> FrameSpan:
+        key = (sess, stream, seq)
+        span = spans.get(key)
+        if span is None:
+            span = spans[key] = FrameSpan(sess, stream, seq)
+        return span
+
+    for e in events:
+        if session is not None and e.session and e.session != session:
+            continue
+        kind = e.kind
+        if kind == "rtp.send":
+            if session is not None and e.session != session:
+                continue
+            span = span_for(e.session, e.name, _frame_of(e))
+            if span.sent_s is None:
+                span.sent_s = e.time
+            else:
+                span.retransmits += 1
+            span.media_time = e.args.get("media_time", -1)
+            span.packets += e.args.get("packets", 1)
+            by_media_time[(e.session, e.name, span.media_time)] = span.key
+            continue
+        if kind == "rtp.frame_drop":
+            mt_key = (e.session, e.name, e.args.get("media_time", -1))
+            key = by_media_time.get(mt_key)
+            if key is not None:
+                span = spans[key]
+                span.dropped_s = e.time
+                span.drop_stage = "reassembly"
+                span.drop_reason = e.args.get("reason", "fragments")
+            continue
+        frame = _frame_of(e)
+        if frame < 0 or not e.session:
+            continue
+        if session is not None and e.session != session:
+            continue
+        if kind == "link.enqueue":
+            span = span_for(e.session, e.args.get("flow", ""), frame)
+            span.enqueues.append((e.time, e.name))
+        elif kind == "link.drop":
+            span = span_for(e.session, e.args.get("flow", ""), frame)
+            span.packets_dropped += 1
+        elif kind == "net.deliver":
+            span = span_for(e.session, e.args.get("flow", ""), frame)
+            # last fragment's delivery closes the network hop
+            span.delivered_s = e.time
+        elif kind == "rtp.frame":
+            span = span_for(e.session, e.name, frame)
+            span.reassembled_s = e.time
+        elif kind == "buffer.push":
+            span = span_for(e.session, e.name, frame)
+            span.buffered_s = e.time
+        elif kind == "buffer.drop":
+            span = span_for(e.session, e.name, frame)
+            span.dropped_s = e.time
+            span.drop_stage = "buffer"
+            span.drop_reason = e.args.get("reason", "overflow")
+        elif kind == "playout.frame":
+            span = span_for(e.session, e.name, frame)
+            if span.played_s is None:
+                span.played_s = e.time
+        elif kind == "playout.drop":
+            span = span_for(e.session, e.name, frame)
+            span.dropped_s = e.time
+            span.drop_stage = "playout"
+            span.drop_reason = e.args.get("reason", "")
+    return spans
+
+
+def hop_latency_summary(
+    spans: dict[tuple[str, str, int], FrameSpan] | list[FrameSpan],
+) -> dict[str, dict[str, float]]:
+    """Per-hop latency statistics across played frames.
+
+    Returns {hop: {count, mean, min, max, p50, p95, p99}} using the
+    streaming log-bucketed histograms from :mod:`repro.obs.metrics`,
+    plus terminal-state counts under ``"terminals"``.
+    """
+    from repro.obs.metrics import Histogram, log_buckets
+
+    values = spans.values() if isinstance(spans, dict) else spans
+    bounds = log_buckets(1e-5, 100.0, per_decade=9)
+    hists = {hop: Histogram(bounds=bounds)
+             for hop in HOPS + ("total_s",)}
+    terminals: dict[str, float] = {}
+    for span in values:
+        terminals[span.terminal] = terminals.get(span.terminal, 0) + 1
+        for hop, hist in hists.items():
+            value = getattr(span, hop)
+            if value is not None and value >= 0:
+                hist.observe(value)
+    out: dict[str, dict[str, float]] = {
+        hop: hist.summary() for hop, hist in hists.items()
+    }
+    out["terminals"] = terminals
+    return out

@@ -13,11 +13,37 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
+           "log_buckets"]
 
 #: default histogram bucket upper bounds (seconds-flavoured)
 DEFAULT_BUCKETS = (0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0,
                    60.0, float("inf"))
+
+#: percentiles reported by :meth:`Histogram.percentiles` by default
+DEFAULT_QUANTILES = (0.50, 0.95, 0.99)
+
+
+def log_buckets(lo: float, hi: float,
+                per_decade: int = 9) -> tuple[float, ...]:
+    """Logarithmically spaced bucket bounds from ``lo`` to past ``hi``.
+
+    ``per_decade`` bounds per factor-of-ten keeps the relative
+    quantile error bounded (~±12% at the default 9/decade) with a
+    number of buckets that grows only with the dynamic range — the
+    streaming-percentile trade-off the QoE scorer relies on. The
+    returned tuple always ends with ``+inf``.
+    """
+    if lo <= 0 or hi <= lo:
+        raise ValueError("need 0 < lo < hi")
+    if per_decade < 1:
+        raise ValueError("per_decade must be >= 1")
+    factor = 10.0 ** (1.0 / per_decade)
+    bounds = [lo]
+    while bounds[-1] < hi:
+        bounds.append(bounds[-1] * factor)
+    bounds.append(float("inf"))
+    return tuple(bounds)
 
 
 @dataclass(slots=True)
@@ -78,12 +104,47 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Estimate the q-quantile from the buckets.
+
+        Prometheus-style: locate the bucket holding the target rank
+        and interpolate linearly inside it; the open-ended last bucket
+        reports the observed maximum. The result is clamped to the
+        observed [min, max], so exact at the extremes and within one
+        bucket's width elsewhere.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        cumulative = 0
+        for i, n in enumerate(self.bucket_counts):
+            previous = cumulative
+            cumulative += n
+            if cumulative >= target and n > 0:
+                hi = self.bounds[i]
+                if hi == float("inf"):
+                    return self.max
+                lo = self.bounds[i - 1] if i > 0 else 0.0
+                est = lo + (hi - lo) * (target - previous) / n
+                return min(max(est, self.min), self.max)
+        return self.max
+
+    def percentiles(
+        self, quantiles: tuple[float, ...] = DEFAULT_QUANTILES
+    ) -> dict[str, float]:
+        """{"p50": ..., "p95": ...} for the requested quantiles."""
+        return {f"p{round(q * 100):d}": self.quantile(q)
+                for q in quantiles}
+
     def summary(self) -> dict[str, float]:
         if not self.count:
             return {"count": 0, "sum": 0.0, "mean": 0.0,
-                    "min": 0.0, "max": 0.0}
+                    "min": 0.0, "max": 0.0,
+                    "p50": 0.0, "p95": 0.0, "p99": 0.0}
         return {"count": self.count, "sum": self.total, "mean": self.mean,
-                "min": self.min, "max": self.max}
+                "min": self.min, "max": self.max, **self.percentiles()}
 
 
 def _label_key(labels: dict[str, str]) -> tuple[tuple[str, str], ...]:

@@ -81,6 +81,47 @@ def _grade_table(events: list[TraceEvent]) -> list[list]:
     return rows
 
 
+def _lifecycle_table(events: list[TraceEvent]) -> list[list]:
+    """Per-hop latency percentiles over correlated frame spans."""
+    from repro.obs.lifecycle import correlate_frames, hop_latency_summary
+
+    spans = correlate_frames(events)
+    if not spans:
+        return []
+    summary = hop_latency_summary(spans)
+    terminals = summary.pop("terminals", {})
+    rows = []
+    for hop, stats in summary.items():
+        if not stats.get("count"):
+            continue
+        rows.append([
+            hop, int(stats["count"]),
+            f"{stats['mean'] * 1e3:.2f}",
+            f"{stats['p50'] * 1e3:.2f}",
+            f"{stats['p95'] * 1e3:.2f}",
+            f"{stats['p99'] * 1e3:.2f}",
+        ])
+    for state in sorted(terminals):
+        rows.append([f"frames:{state}", int(terminals[state]),
+                     "-", "-", "-", "-"])
+    return rows
+
+
+def _qoe_table(events: list[TraceEvent]) -> list[list]:
+    from repro.obs.qoe import score_sessions
+
+    rows = []
+    for sid, q in sorted(score_sessions(events).items()):
+        rows.append([
+            sid, f"{q.score:.1f}", f"{q.startup_s:.3f}",
+            q.stall_count, f"{q.stall_time_s:.2f}",
+            q.skew_violations, f"{q.degraded_time_s:.2f}",
+            f"{q.frames_played}/{q.frames_sent}",
+            f"{q.latency.get('p95', 0.0) * 1e3:.1f}",
+        ])
+    return rows
+
+
 def summarize_trace(events: list[TraceEvent], top: int = 12) -> list[dict]:
     """A list of table specs: {title, headers, rows} per section.
 
@@ -115,5 +156,22 @@ def summarize_trace(events: list[TraceEvent], top: int = 12) -> list[dict]:
             "headers": ["time_s", "session", "stream", "action", "grade",
                         "trigger"],
             "rows": grades,
+        })
+    lifecycle = _lifecycle_table(events)
+    if lifecycle:
+        sections.append({
+            "title": "Frame lifecycle (per-hop latency)",
+            "headers": ["hop", "count", "mean_ms", "p50_ms", "p95_ms",
+                        "p99_ms"],
+            "rows": lifecycle,
+        })
+    qoe = _qoe_table(events)
+    if qoe:
+        sections.append({
+            "title": "Session QoE",
+            "headers": ["session", "score", "startup_s", "stalls",
+                        "stall_s", "skew", "degraded_s", "played/sent",
+                        "latency_p95_ms"],
+            "rows": qoe,
         })
     return sections

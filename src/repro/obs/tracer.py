@@ -27,14 +27,27 @@ kind                      emitted by
 ``channel.message``       reliable-channel message reassembled
 ``channel.retransmit``    go-back-N window resend
 ``flow.plan`` / ``.schedule``  flow-scheduler output (per session / per flow)
+``impair.state``          Gilbert–Elliott good/bad state transition
+``impair.loss``           Gilbert–Elliott loss decision (per lost packet)
+``rtp.send``              sender packetized one frame (frame/seq0/packets)
+``rtp.recv``              receiver accepted one RTP packet (delay, jitter)
+``rtp.frame``             receiver reassembled a complete frame
+``rtp.frame_drop``        reassembly gave up on a frame (missing fragments)
+``rtcp.report``           client reporter sent a receiver report
+``rtcp.recv``             server sink received a receiver report
 ``qos.grade``             server QoS manager grade transition
 ``qos.stream``            client QoS manager feedback-loop registration
 ``skew.correct``          skew controller drop/duplicate decision
 ``buffer.watermark``      buffer monitor LOW/NORMAL/HIGH crossing
-``playout.*``             playout event log (gap, drop, duplicate, ...)
+``buffer.push``/``.drop``  media buffer accepted / overflow-dropped a frame
+``playout.*``             playout event log (frame, gap, drop, duplicate, ...)
 ``session`` (B/E)         orchestrator per-session lifecycle span
 ``workload``/``population`` (B/E)  orchestrator run-level spans
 ========================  =====================================================
+
+Frame-lifecycle correlation: data-path events carry ``session`` and a
+``frame`` arg (the frame's per-stream seq), letting
+:mod:`repro.obs.lifecycle` join a frame's journey across layers.
 """
 
 from __future__ import annotations

@@ -74,6 +74,8 @@ class RtcpReporter:
         self.loss_threshold = loss_threshold
         self.jitter_threshold_s = jitter_threshold_s
         self._current_interval = interval_s
+        #: session id for tracing (wired by the client QoS manager)
+        self.session = ""
         self.reports_sent = 0
         self._stopped = False
         self.socket = DatagramSocket(network, node_id, port)
@@ -131,10 +133,19 @@ class RtcpReporter:
                 flow_id=f"rtcp:{self.receiver.stream_id}",
                 dst_port=self.dst_port,
                 payload=report,
+                session=self.session,
             )
         )
         self.reports_sent += 1
         self._current_interval = self._next_interval(report)
+        if self.sim._tracing:
+            self.sim._tracer.emit(self.sim.now, "rtcp.report",
+                                  self.receiver.stream_id,
+                                  session=self.session,
+                                  fraction_lost=report.fraction_lost,
+                                  jitter_s=report.jitter_s,
+                                  mean_delay_s=report.mean_delay_s,
+                                  interval_s=self._current_interval)
 
     def _run(self):
         if not self.adaptive:
@@ -186,5 +197,11 @@ class RtcpSink:
         if not isinstance(report, RtcpReceiverReport):
             return
         self.reports_received.append(report)
+        sim = self.network.sim
+        if sim._tracing:
+            sim._tracer.emit(sim.now, "rtcp.recv", report.stream_id,
+                             node=self.node_id, session=pkt.session,
+                             fraction_lost=report.fraction_lost,
+                             jitter_s=report.jitter_s)
         if self.on_report is not None:
             self.on_report(report)

@@ -40,6 +40,7 @@ class RtpSender:
         clock_rate: int,
         stream_id: str,
         mtu_payload: int = DEFAULT_MTU_PAYLOAD,
+        session: str = "",
     ) -> None:
         self.sim: Simulator = network.sim
         self.network = network
@@ -52,6 +53,7 @@ class RtpSender:
         self.clock_rate = clock_rate
         self.stream_id = stream_id
         self.mtu_payload = mtu_payload
+        self.session = session
         self._seq = 0
         self.packet_count = 0
         self.octet_count = 0
@@ -60,6 +62,8 @@ class RtpSender:
         """Packetize and transmit one frame; returns packets sent."""
         n_frags = max(1, -(-frame.size_bytes // self.mtu_payload))
         remaining = frame.size_bytes
+        seq0 = self._seq
+        sent_bytes = 0
         for i in range(n_frags):
             frag_bytes = min(self.mtu_payload, remaining)
             remaining -= frag_bytes
@@ -84,11 +88,19 @@ class RtpSender:
                 dst_port=self.dst_port,
                 payload=rtp,
                 seq=self._seq,
+                session=self.session,
+                frame_seq=frame.seq,
             )
             self.network.send(pkt)
             self._seq = (self._seq + 1) % SEQ_MODULUS
             self.packet_count += 1
             self.octet_count += frag_bytes
+            sent_bytes += frag_bytes
+        if self.sim._tracing:
+            self.sim._tracer.emit(self.sim.now, "rtp.send", self.stream_id,
+                                  session=self.session, frame=frame.seq,
+                                  media_time=frame.media_time, seq0=seq0,
+                                  packets=n_frags, bytes=sent_bytes)
         return n_frags
 
     def close(self) -> None:
@@ -151,6 +163,8 @@ class RtpReceiver:
         self.clock_rate = clock_rate
         self.stream_id = stream_id
         self.on_frame = on_frame
+        #: session id for tracing (wired by the client composition)
+        self.session = ""
         self.stats = RtpReceiverStats()
         self.jitter = InterarrivalJitterEstimator(clock_rate)
         self._unwrapped_high: int | None = None
@@ -193,11 +207,24 @@ class RtpReceiver:
         st.delay_sum_s += delay
         st.delay_samples += 1
         self.jitter.observe(now, rtp.timestamp)
+        if self.sim._tracing:
+            self.sim._tracer.emit(now, "rtp.recv", self.stream_id,
+                                  session=pkt.session or self.session,
+                                  frame=pkt.frame_seq, seq=rtp.seq,
+                                  delay_s=delay,
+                                  jitter_s=self.jitter.jitter_s)
         # Frame reassembly.
         seen = self._frag_seen.get(rtp.timestamp, 0) + 1
         if seen == rtp.fragment_count and rtp.marker:
             self._frag_seen.pop(rtp.timestamp, None)
             st.frames_received += 1
+            if self.sim._tracing:
+                self.sim._tracer.emit(
+                    now, "rtp.frame", self.stream_id,
+                    session=pkt.session or self.session,
+                    frame=rtp.frame.seq if rtp.frame is not None
+                    else pkt.frame_seq,
+                    media_time=rtp.timestamp, delay_s=delay)
             self._gc_stale_frames(rtp.timestamp)
             if self.on_frame is not None and rtp.frame is not None:
                 self.on_frame(rtp.frame, now)
@@ -210,6 +237,10 @@ class RtpReceiver:
         for ts in stale:
             del self._frag_seen[ts]
             self.stats.frames_dropped_fragments += 1
+            if self.sim._tracing:
+                self.sim._tracer.emit(self.sim.now, "rtp.frame_drop",
+                                      self.stream_id, session=self.session,
+                                      media_time=ts, reason="fragments")
 
     # -- RTCP support -------------------------------------------------------
     def peek_interval_loss(self) -> float:

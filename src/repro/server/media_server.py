@@ -183,6 +183,7 @@ class MediaServer:
             client_node, client_port,
             ssrc=ssrc, payload_type=codec.payload_type,
             clock_rate=codec.clock_rate, stream_id=stream_id,
+            session=session_id,
         )
         handler = StreamHandler(
             self.sim, converter, sender, duration_s=duration_s,
