@@ -38,8 +38,20 @@ WALKS = [
     [E.CONNECT, E.AUTH_OK, E.REQUEST_DOCUMENT, E.SCENARIO_RECEIVED,
      E.PAUSE, E.FOLLOW_LINK_LOCAL, E.SCENARIO_RECEIVED, E.PAUSE,
      E.FOLLOW_LINK_REMOTE, E.RECONNECTED, E.DISCONNECT],
+    # stream fault mid-viewing, failover restores playback
+    [E.CONNECT, E.AUTH_OK, E.REQUEST_DOCUMENT, E.SCENARIO_RECEIVED,
+     E.STREAM_FAULT, E.STREAM_RECOVERED, E.PRESENTATION_END, E.DISCONNECT],
+    # fault while paused, repeated faults, then recovery gives up
+    [E.CONNECT, E.AUTH_OK, E.REQUEST_DOCUMENT, E.SCENARIO_RECEIVED,
+     E.PAUSE, E.STREAM_FAULT, E.STREAM_FAULT, E.RECOVERY_FAILED,
+     E.DISCONNECT],
+    # presentation runs out while still recovering
+    [E.CONNECT, E.AUTH_OK, E.REQUEST_DOCUMENT, E.SCENARIO_RECEIVED,
+     E.STREAM_FAULT, E.PRESENTATION_END, E.DISCONNECT],
     # disconnect from every remaining state
     [E.CONNECT, E.DISCONNECT],
+    [E.CONNECT, E.AUTH_OK, E.REQUEST_DOCUMENT, E.SCENARIO_RECEIVED,
+     E.STREAM_FAULT, E.DISCONNECT],
     [E.CONNECT, E.NOT_MEMBER, E.DISCONNECT],
     [E.CONNECT, E.AUTH_OK, E.REQUEST_DOCUMENT, E.DISCONNECT],
     [E.CONNECT, E.AUTH_OK, E.DISCONNECT],

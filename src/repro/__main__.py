@@ -11,6 +11,10 @@ Usage:
     python -m repro bench [--smoke]   # benchmark trajectory artifacts
                                       # (BENCH_<name>.json + baseline
                                       # regression check)
+    python -m repro chaos [--scenario crash] [--smoke]
+                                      # fault-injection run: scheduled
+                                      # crashes/flaps/partitions with
+                                      # failover + retry defences
 
 Any command accepts ``--json`` to emit one machine-readable document
 instead of text tables.
@@ -265,6 +269,116 @@ def _bench(args: list[str], report: Reporter) -> int:
     return 1 if problems else 0
 
 
+def _chaos(args: list[str], report: Reporter) -> int:
+    """``chaos`` subcommand: fault-injection scenarios + assertions."""
+    from repro.faults.scenarios import (
+        CHAOS_SCENARIOS,
+        check_determinism,
+        run_chaos,
+    )
+
+    name = "crash"
+    smoke = False
+    seed: int | None = None
+    n_clients: int | None = None
+    recovery = True
+    retry: bool | None = None
+    check_det = False
+    min_delivered: float | None = None
+    min_completed: float | None = None
+    out_path: str | None = None
+    i = 0
+    while i < len(args):
+        a = args[i]
+        if a == "--scenario":
+            i += 1
+            name = args[i]
+        elif a == "--smoke":
+            smoke = True
+        elif a == "--seed":
+            i += 1
+            seed = int(args[i])
+        elif a == "--clients":
+            i += 1
+            n_clients = int(args[i])
+        elif a == "--no-recovery":
+            recovery = False
+        elif a == "--no-retry":
+            retry = False
+        elif a == "--check-determinism":
+            check_det = True
+        elif a == "--min-delivered":
+            i += 1
+            min_delivered = float(args[i])
+        elif a == "--min-completed":
+            i += 1
+            min_completed = float(args[i])
+        elif a == "--out":
+            i += 1
+            out_path = args[i]
+        elif a in ("-h", "--help"):
+            report.text(
+                "usage: python -m repro chaos [--scenario NAME] [--smoke] "
+                "[--seed N] [--clients N] [--no-recovery] [--no-retry] "
+                "[--check-determinism] [--min-delivered FRAC] "
+                "[--min-completed FRAC] [--out FILE]")
+            report.text(f"scenarios: {', '.join(sorted(CHAOS_SCENARIOS))}")
+            return 0
+        else:
+            report.text(f"unknown chaos option {a!r}")
+            return 2
+        i += 1
+
+    run = run_chaos(name, smoke=smoke, seed=seed, n_clients=n_clients,
+                    recovery=recovery, retry=retry)
+    a = run.artifact
+    report.table(
+        f"Chaos run — {name}" + (" (smoke)" if smoke else ""),
+        ["metric", "value"],
+        [
+            ["sessions", a["sessions"]],
+            ["completed", a["completed"]],
+            ["delivered", a["delivered"]],
+            ["control retries", a["retries"]],
+            ["stream recoveries", a["recoveries"]],
+            ["streams failed over",
+             a.get("watchdog", {}).get("streams_failed_over", 0)],
+            ["streams lost",
+             a.get("watchdog", {}).get("streams_lost", 0)],
+            ["sessions saved",
+             a.get("watchdog", {}).get("sessions_saved", 0)],
+            ["digest", a["digest"][:16]],
+        ],
+    )
+    if out_path:
+        report.artifact(f"chaos:{name}", out_path, a)
+    failed = False
+    if check_det:
+        same, d1, d2 = check_determinism(name, smoke=smoke, seed=seed)
+        report.value("deterministic", same)
+        if not same:
+            report.value("digest_a", d1)
+            report.value("digest_b", d2)
+            failed = True
+    if min_delivered is not None:
+        frac = a["delivered"] / a["sessions"] if a["sessions"] else 0.0
+        report.value("delivered_fraction", round(frac, 3))
+        if frac < min_delivered:
+            report.value(
+                "failure",
+                f"delivered {frac:.2f} < required {min_delivered:.2f}")
+            failed = True
+    if min_completed is not None:
+        frac = a["completed"] / a["sessions"] if a["sessions"] else 0.0
+        report.value("completed_fraction", round(frac, 3))
+        if frac < min_completed:
+            report.value(
+                "failure",
+                f"completed {frac:.2f} < required {min_completed:.2f}")
+            failed = True
+    return 1 if failed else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = list(sys.argv[1:] if argv is None else argv)
     json_mode = "--json" in args
@@ -289,6 +403,8 @@ def main(argv: list[str] | None = None) -> int:
             return _trace(args[1:], report)
         if cmd == "bench":
             return _bench(args[1:], report)
+        if cmd == "chaos":
+            return _chaos(args[1:], report)
         if cmd == "run":
             if len(args) < 2:
                 report.text("usage: python -m repro run "

@@ -81,6 +81,9 @@ class ServiceEngine:
         self._traffic_nodes = 0
         self._population: list[str] = []
         self._orchestrator = None
+        #: fault-injection subsystem (None until install_faults)
+        self._faults = None
+        self._watchdogs: dict[str, Any] = {}
         self._build_backbone()
 
     # -- topology -----------------------------------------------------------
@@ -248,6 +251,74 @@ class ServiceEngine:
             )
         return server.media_servers[media_name]
 
+    # -- fault injection ------------------------------------------------------
+    def install_faults(
+        self,
+        plan=None,
+        retry=None,
+        recovery: bool = True,
+        heartbeat: dict | None = None,
+        detect_delay_s: float = 0.5,
+        failover_grade_penalty: int = 0,
+    ):
+        """Install the fault subsystem: a plan, retry, and watchdogs.
+
+        Call after every ``add_server``/``add_media_replica``: the
+        watchdogs guard the media servers that exist at install time.
+        An empty (or None) plan schedules nothing — the run stays
+        byte-identical to one without the subsystem.
+        """
+        from repro.faults.injector import FaultInjector
+        from repro.faults.plan import FaultPlan
+        from repro.faults.recovery import MediaWatchdog
+
+        if self._faults is not None:
+            raise RuntimeError("fault subsystem already installed")
+        plan = plan if plan is not None else FaultPlan()
+        self._faults = FaultInjector(self, plan, retry=retry,
+                                     heartbeat=heartbeat)
+        if recovery:
+            for name, server in self.servers.items():
+                self._watchdogs[name] = MediaWatchdog(
+                    server, detect_delay_s=detect_delay_s,
+                    failover_grade_penalty=failover_grade_penalty,
+                )
+        return self._faults
+
+    @property
+    def faults(self):
+        """The installed :class:`FaultInjector` (None = no faults)."""
+        return self._faults
+
+    @property
+    def watchdogs(self) -> dict[str, Any]:
+        """server name -> MediaWatchdog, when recovery is installed."""
+        return self._watchdogs
+
+    def add_media_replica(self, server_name: str, primary_media: str,
+                          replica_name: str | None = None) -> MediaServer:
+        """Provision a standby media server mirroring ``primary_media``.
+
+        The replica shares the primary's store (same catalog, same
+        seeded trace streams) but lives on its own host behind the
+        router, so failover also moves the network path.
+        """
+        server = self.servers[server_name]
+        primary = server.media_server(primary_media)
+        if replica_name is None:
+            n = len(server.replicas.get(primary_media, [])) + 1
+            replica_name = f"{primary_media}-r{n}"
+        node_id = f"host:{replica_name}"
+        if node_id not in self.network.nodes:
+            self.topology.add_server_host(node_id)
+        replica = MediaServer(self.sim, self.network, replica_name, node_id,
+                              primary.store)
+        server.add_replica(primary_media, replica)
+        watchdog = self._watchdogs.get(server_name)
+        if watchdog is not None:
+            watchdog.attach(replica)
+        return replica
+
     # -- client construction ---------------------------------------------------
     def open_session(self, server_name: str, user_id: str, secret: str,
                      client_node: str | None = None,
@@ -274,6 +345,8 @@ class ServiceEngine:
             flow_lead_s=self.config.flow_lead_s,
         )
         client = ClientSession(self.sim, channel.client, user_id, secret)
+        if self._faults is not None:
+            self._faults.on_session_opened(channel, client, handler)
         return client, handler
 
     def build_client_composition(self, markup: str,

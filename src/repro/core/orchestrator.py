@@ -115,6 +115,35 @@ class PopulationResult:
     def rejected(self) -> list[SessionOutcome]:
         return [o for o in self.outcomes if not o.completed]
 
+    def delivered(self, max_gap_ratio: float = 0.25) -> list[SessionOutcome]:
+        """Sessions that completed *and* actually delivered their media.
+
+        Under faults a session can limp to completion while most of its
+        playout was gaps; chaos experiments count a session as saved
+        only when the gap ratio stays under ``max_gap_ratio``.
+        """
+        return [o for o in self.completed()
+                if o.result.total_gap_ratio() <= max_gap_ratio]
+
+    def to_dict(self) -> dict:
+        """Full JSON-serializable form (for determinism digests)."""
+        return {
+            "outcomes": [
+                {
+                    "session_id": o.session_id,
+                    "client_node": o.client_node,
+                    "user_id": o.user_id,
+                    "server": o.server,
+                    "document": o.document,
+                    "contract": o.contract,
+                    "start_at": o.start_at,
+                    "result": o.result.to_dict(),
+                }
+                for o in self.outcomes
+            ],
+            "metrics": self.metrics,
+        }
+
     def by_client(self) -> dict[str, list[SessionOutcome]]:
         grouped: dict[str, list[SessionOutcome]] = {}
         for o in self.outcomes:
@@ -143,6 +172,7 @@ class SessionOrchestrator:
 
         cfg = self.engine.config
         user_id = client.user_id
+        result_box["_client"] = client
         if start_delay_s > 0:
             yield self.sim.timeout(start_delay_s)
         tracing = self.sim._tracing
@@ -185,6 +215,14 @@ class SessionOrchestrator:
         ready = yield from client.send_ready(
             comp.rtp_ports, comp.discrete_ports, lead_s=cfg.flow_lead_s
         )
+        if ready.msg_type != "streams-started":
+            result_box["error"] = ready.body.get("reason", ready.msg_type)
+            if tracing:
+                self.sim._tracer.span_end(
+                    self.sim.now, "session", session_id, session=session_id,
+                    outcome="no-streams",
+                )
+            return
         comp.attach_feedback(ready.body["rtcp_port"], server.node_id)
         done = comp.start()
         yield done
@@ -213,16 +251,22 @@ class SessionOrchestrator:
                          document: str) -> SessionResult:
         if "comp" in box:
             comp = box["comp"]
-            return comp.collect_result(
+            result = comp.collect_result(
                 document, charge=box.get("charge", 0.0),
                 grading_decisions=box.get("decisions", []),
                 grade_trajectories=box.get("trajectories", {}),
             )
-        return SessionResult(
-            document=document, completed=False,
-            startup_latency_s=None, charge=0.0,
-            events=[box.get("error", "did not finish")],
-        )
+        else:
+            result = SessionResult(
+                document=document, completed=False,
+                startup_latency_s=None, charge=0.0,
+                events=[box.get("error", "did not finish")],
+            )
+        client = box.get("_client")
+        if client is not None:
+            result.retries = client.retries
+            result.recoveries = client.recoveries
+        return result
 
     # -- single scripted session --------------------------------------------
     def run_full_session(
@@ -513,6 +557,8 @@ class SessionOrchestrator:
                     comp.rtp_ports, comp.discrete_ports,
                     lead_s=engine.config.flow_lead_s,
                 )
+                if ready.msg_type != "streams-started":
+                    break
                 comp.attach_feedback(ready.body["rtcp_port"],
                                      server.node_id)
                 done = comp.start()

@@ -59,6 +59,11 @@ class SessionResult:
     #: accounting, latency percentiles — see :mod:`repro.obs.qoe`)
     #: when the engine ran with a recording tracer; empty otherwise
     qoe: dict[str, Any] = field(default_factory=dict)
+    #: control RPC retransmissions the client had to issue (nonzero
+    #: only under a fault plan with a RetryPolicy installed)
+    retries: int = 0
+    #: streams restored to this session by media-server failover
+    recoveries: int = 0
 
     # -- aggregates ---------------------------------------------------------
     def total_gaps(self) -> int:
@@ -150,4 +155,6 @@ class SessionResult:
             "rx_discarded": self.rx_discarded,
             "metrics": dict(self.metrics),
             "qoe": dict(self.qoe),
+            "retries": self.retries,
+            "recoveries": self.recoveries,
         }

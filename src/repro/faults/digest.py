@@ -1,0 +1,45 @@
+"""Canonical hashing of run results for determinism assertions.
+
+Two runs with the same seed and fault plan must produce byte-identical
+outcomes. Comparing deep result structures directly is noisy; instead
+both sides are reduced to a canonical JSON form (sorted keys, repr'd
+floats, no whitespace variance) and hashed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+__all__ = ["canonical_json", "population_digest"]
+
+
+def _canonicalise(value):
+    """Make a result structure JSON-stable (tuples, sets, floats)."""
+    if isinstance(value, dict):
+        return {str(k): _canonicalise(v) for k, v in sorted(
+            value.items(), key=lambda kv: str(kv[0]))}
+    if isinstance(value, (list, tuple)):
+        return [_canonicalise(v) for v in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted(_canonicalise(v) for v in value)
+    if isinstance(value, float):
+        # repr round-trips exactly; json float formatting also does,
+        # but be explicit that -0.0 and 0.0 must not collide randomly
+        return repr(value)
+    return value
+
+
+def canonical_json(data) -> str:
+    return json.dumps(_canonicalise(data), sort_keys=True,
+                      separators=(",", ":"))
+
+
+def population_digest(population_result) -> str:
+    """SHA-256 over the canonical form of a PopulationResult.
+
+    Accepts anything with ``to_dict()`` (or a plain dict).
+    """
+    data = (population_result.to_dict()
+            if hasattr(population_result, "to_dict") else population_result)
+    return hashlib.sha256(canonical_json(data).encode()).hexdigest()

@@ -1,0 +1,117 @@
+"""Installs a :class:`~repro.faults.plan.FaultPlan` on an engine.
+
+All fault activations ride the DES clock via ``sim.call_later``, so a
+plan's effects are totally ordered with everything else in the run.
+An **empty plan schedules nothing and creates no RNG streams** —
+installing it leaves the run byte-identical to one without the
+subsystem (the inertness half of the determinism contract).
+"""
+
+from __future__ import annotations
+
+from repro.faults.control import ControlFaultState, HeartbeatMonitor
+from repro.faults.plan import FaultPlan
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """Schedules a plan's faults and wires per-session fault state."""
+
+    def __init__(self, engine, plan: FaultPlan, retry=None,
+                 heartbeat: dict | None = None) -> None:
+        self.engine = engine
+        self.plan = plan
+        #: RetryPolicy handed to every ClientSession (None = no retry)
+        self.retry = retry
+        #: HeartbeatMonitor kwargs per session (None = no heartbeats)
+        self.heartbeat = dict(heartbeat) if heartbeat else None
+        self.monitors: list[HeartbeatMonitor] = []
+        self.control_state: ControlFaultState | None = None
+        self._install()
+
+    # -- installation ------------------------------------------------------
+    def _ensure_control_state(self) -> ControlFaultState:
+        if self.control_state is None:
+            self.control_state = ControlFaultState(
+                self.engine.rng.stream("faults:control")
+            )
+        return self.control_state
+
+    def _install(self) -> None:
+        sim = self.engine.sim
+        for f in self.plan:
+            if f.kind == "link-down":
+                self._check_link(f.src, f.dst)
+                self._schedule_outage(f.src, f.dst, f.at, f.duration_s)
+            elif f.kind == "link-flap":
+                self._check_link(f.src, f.dst)
+                for i in range(f.count):
+                    self._schedule_outage(f.src, f.dst,
+                                          f.at + i * f.period_s, f.down_s)
+            elif f.kind == "server-crash":
+                ms = self.engine.servers[f.server].media_server(f.media_server)
+                sim.call_later(f.at, ms.crash)
+                if f.restart_after_s is not None:
+                    sim.call_later(f.at + f.restart_after_s, ms.restart)
+            elif f.kind == "control-partition":
+                state = self._ensure_control_state()
+                sim.call_later(f.at, lambda s=state: self._partition(s, True))
+                sim.call_later(f.at + f.duration_s,
+                               lambda s=state: self._partition(s, False))
+            elif f.kind == "control-impair":
+                state = self._ensure_control_state()
+                sim.call_later(
+                    f.at,
+                    lambda s=state, f=f: s.impair(
+                        drop_prob=f.drop_prob, delay_s=f.delay_s,
+                        jitter_s=f.jitter_s),
+                )
+                sim.call_later(f.at + f.duration_s,
+                               lambda s=state: s.clear_impair())
+            else:  # pragma: no cover - plan validation catches this
+                raise ValueError(f"unknown fault kind {f.kind!r}")
+
+    def _check_link(self, src: str, dst: str) -> None:
+        links = self.engine.network.links
+        if (src, dst) not in links and (dst, src) not in links:
+            raise ValueError(f"no link between {src!r} and {dst!r}")
+
+    def _schedule_outage(self, src: str, dst: str, at: float,
+                         duration_s: float) -> None:
+        sim = self.engine.sim
+        sim.call_later(at, lambda: self._set_link(src, dst, False))
+        sim.call_later(at + duration_s, lambda: self._set_link(src, dst, True))
+
+    def _set_link(self, src: str, dst: str, up: bool) -> None:
+        links = self.engine.network.links
+        for key in ((src, dst), (dst, src)):
+            link = links.get(key)
+            if link is not None:
+                link.set_up(up)
+
+    def _partition(self, state: ControlFaultState, on: bool) -> None:
+        state.partitioned = on
+        sim = self.engine.sim
+        if sim._tracing:
+            sim._tracer.emit(sim.now, "fault.ctl_partition", "control",
+                             state="on" if on else "off")
+
+    # -- per-session wiring (called by engine.open_session) -----------------
+    def on_session_opened(self, channel, client, handler) -> None:
+        if self.control_state is not None:
+            channel.client.fault = self.control_state
+            channel.server.fault = self.control_state
+        if self.retry is not None:
+            client.retry = self.retry
+            client.retry_rng = self.engine.rng.stream("faults:retry")
+        if self.heartbeat is not None:
+            self.monitors.append(HeartbeatMonitor(
+                self.engine.sim, channel.client,
+                name=handler.session_id, **self.heartbeat,
+            ))
+
+    def stop(self) -> None:
+        """Stop all heartbeat monitors (lets the event queue drain)."""
+        for monitor in self.monitors:
+            monitor.stop()

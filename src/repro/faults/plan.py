@@ -1,0 +1,139 @@
+"""Declarative, schedulable fault plans.
+
+A :class:`FaultPlan` is a list of frozen fault records, each pinned to
+an absolute simulation time. Plans are pure data — they carry no
+behaviour — so they serialise to/from dicts for CLI flags, CI jobs and
+golden files, and two runs given the same seed and plan replay
+identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+
+__all__ = [
+    "LinkDownFault",
+    "LinkFlapFault",
+    "ServerCrashFault",
+    "ControlPartitionFault",
+    "ControlImpairFault",
+    "FaultPlan",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class LinkDownFault:
+    """Cut the ``src``→``dst`` link (both directions) for a while."""
+
+    src: str
+    dst: str
+    at: float
+    duration_s: float
+    kind: str = "link-down"
+
+
+@dataclass(frozen=True, slots=True)
+class LinkFlapFault:
+    """Repeatedly cut and restore a link: ``count`` outages of
+    ``down_s`` seconds, one every ``period_s`` starting at ``at``."""
+
+    src: str
+    dst: str
+    at: float
+    period_s: float
+    down_s: float
+    count: int
+    kind: str = "link-flap"
+
+
+@dataclass(frozen=True, slots=True)
+class ServerCrashFault:
+    """Fail-stop one media server; optionally restart it later."""
+
+    server: str
+    media_server: str
+    at: float
+    #: None = never restarts
+    restart_after_s: float | None = None
+    kind: str = "server-crash"
+
+
+@dataclass(frozen=True, slots=True)
+class ControlPartitionFault:
+    """Total control-plane partition: every control message delivered
+    during the window is lost (the transport keeps retransmitting, but
+    endpoint-level drops defeat it — this is what RPC retry is for)."""
+
+    at: float
+    duration_s: float
+    kind: str = "control-partition"
+
+
+@dataclass(frozen=True, slots=True)
+class ControlImpairFault:
+    """Lossy/slow control plane: messages are independently dropped
+    with ``drop_prob`` and the survivors delayed by ``delay_s`` plus
+    uniform jitter in ``[0, jitter_s)``."""
+
+    at: float
+    duration_s: float
+    drop_prob: float = 0.0
+    delay_s: float = 0.0
+    jitter_s: float = 0.0
+    kind: str = "control-impair"
+
+
+_FAULT_TYPES = {
+    "link-down": LinkDownFault,
+    "link-flap": LinkFlapFault,
+    "server-crash": ServerCrashFault,
+    "control-partition": ControlPartitionFault,
+    "control-impair": ControlImpairFault,
+}
+
+Fault = (LinkDownFault | LinkFlapFault | ServerCrashFault
+         | ControlPartitionFault | ControlImpairFault)
+
+
+@dataclass(frozen=True, slots=True)
+class FaultPlan:
+    """An ordered set of scheduled faults for one run."""
+
+    faults: tuple[Fault, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "faults", tuple(self.faults))
+        for f in self.faults:
+            if f.at < 0:
+                raise ValueError(f"fault time must be >= 0: {f}")
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def __iter__(self):
+        return iter(self.faults)
+
+    @property
+    def empty(self) -> bool:
+        return not self.faults
+
+    def needs_control_state(self) -> bool:
+        """Does this plan ever touch the control plane?"""
+        return any(f.kind in ("control-partition", "control-impair")
+                   for f in self.faults)
+
+    def to_dict(self) -> dict:
+        return {"faults": [asdict(f) for f in self.faults]}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        faults = []
+        for item in data.get("faults", []):
+            item = dict(item)
+            kind = item.pop("kind")
+            try:
+                ftype = _FAULT_TYPES[kind]
+            except KeyError:
+                raise ValueError(f"unknown fault kind {kind!r}") from None
+            faults.append(ftype(**item))
+        return cls(faults=tuple(faults))

@@ -265,6 +265,27 @@ class FrameSource:
             raise ValueError(f"grade index must be >= 0, got {index}")
         self._grade_index = index
 
+    def fast_forward(self, media_time_s: float, seq: int | None = None) -> None:
+        """Jump to a later point in the scenario timeline.
+
+        Used when a replica takes over a crashed server's stream: the
+        replacement source must resume at the media position (and frame
+        sequence) the dead one had reached, not from zero. Only forward
+        jumps are allowed; the GoP phase is realigned so frame kinds
+        stay periodic across the switch.
+        """
+        target = int(round(media_time_s * self.codec.clock_rate))
+        if target < self._media_time:
+            raise ValueError(
+                f"cannot rewind {self.stream_id}: at {self.media_time_s:.3f}s,"
+                f" asked for {media_time_s:.3f}s"
+            )
+        ticks = int(round(self.codec.clock_rate * self.frame_interval_s))
+        skipped = 0 if ticks <= 0 else (target - self._media_time) // ticks
+        self._media_time += skipped * ticks
+        self._frame_in_gop += skipped
+        self._seq = self._seq + skipped if seq is None else seq
+
     @property
     def frame_interval_s(self) -> float:
         grade = self.grade

@@ -49,6 +49,9 @@ class AtmLink(Link):
         return cells_for(size_bytes) * CELL_BYTES * 8.0 / self.rate_bps
 
     def _propagated(self, pkt: Packet) -> None:
+        if not self.up:
+            self._drop_down(pkt)
+            return
         n_cells = cells_for(pkt.size_bytes)
         self.cells_tx += n_cells
         if self.loss_model is not None:

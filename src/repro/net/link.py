@@ -27,6 +27,9 @@ class LinkStats:
     tx_bytes: int = 0
     queue_drops: int = 0
     loss_drops: int = 0
+    #: packets discarded because the link was administratively down
+    #: (fault injection), at ingress or while in flight
+    fault_drops: int = 0
     busy_time: float = 0.0
     occupancy_samples: list[tuple[float, int]] = field(default_factory=list)
 
@@ -66,6 +69,9 @@ class Link:
         self.delay_s = float(delay_s)
         self.queue: Store = Store(sim, capacity=queue_packets)
         self.loss_model = loss_model
+        #: administrative state; a downed link drops everything offered
+        #: to it and everything still propagating when it went down
+        self.up = True
         self.stats = LinkStats()
         self.on_arrival: Callable[[Packet], None] | None = None
         self.on_drop: Callable[[Packet, str], None] | None = None
@@ -78,9 +84,32 @@ class Link:
     def serialization_delay(self, size_bytes: int) -> float:
         return size_bytes * 8.0 / self.rate_bps
 
+    # -- fault injection ---------------------------------------------------
+    def set_up(self, up: bool) -> None:
+        """Administratively raise or cut the link (fault injection)."""
+        if up == self.up:
+            return
+        self.up = up
+        if self.sim._tracing:
+            self.sim._tracer.emit(self.sim.now, "fault.link", self.name,
+                                  state="up" if up else "down")
+
+    def _drop_down(self, pkt: Packet) -> None:
+        self.stats.fault_drops += 1
+        if self.sim._tracing:
+            self.sim._tracer.emit(self.sim.now, "link.drop", self.name,
+                                  reason="down", seq=pkt.seq,
+                                  flow=pkt.flow_id, session=pkt.session,
+                                  frame=pkt.frame_seq)
+        if self.on_drop is not None:
+            self.on_drop(pkt, "drop-down")
+
     # -- ingress ---------------------------------------------------------
     def enqueue(self, pkt: Packet) -> bool:
         """Offer a packet; returns False (and counts a drop) if full."""
+        if not self.up:
+            self._drop_down(pkt)
+            return False
         try:
             self.queue.put_nowait(pkt)
             if self.sim._tracing:
@@ -114,6 +143,9 @@ class Link:
             self.sim.call_later(self.delay_s, lambda p=pkt: self._propagated(p))
 
     def _propagated(self, pkt: Packet) -> None:
+        if not self.up:
+            self._drop_down(pkt)
+            return
         if self.loss_model is not None and (
             self.loss_model.is_lost(flow=pkt.flow_id, seq=pkt.seq,
                                     session=pkt.session, frame=pkt.frame_seq)

@@ -17,6 +17,8 @@ Ranges mirror the engine's historical layout:
 
 from __future__ import annotations
 
+import heapq
+
 __all__ = ["PortAllocator", "PortExhaustedError", "DEFAULT_PORT_RANGES"]
 
 #: name -> (first port, one past the last port)
@@ -50,6 +52,9 @@ class PortAllocator:
         self._ranges = dict(ranges if ranges is not None
                             else DEFAULT_PORT_RANGES)
         self._cursor = {name: lo for name, (lo, _hi) in self._ranges.items()}
+        #: released single ports, reused lowest-first before the cursor
+        #: advances (a heap keeps the reuse order deterministic)
+        self._free: dict[str, list[int]] = {name: [] for name in self._ranges}
 
     def _bounds(self, range_name: str) -> tuple[int, int]:
         try:
@@ -59,6 +64,9 @@ class PortAllocator:
 
     def next_free(self, range_name: str = "media") -> int:
         """The next port :meth:`allocate` would return (without taking it)."""
+        free = self._free[range_name]
+        if free:
+            return free[0]
         lo, hi = self._bounds(range_name)
         cursor = self._cursor[range_name]
         if cursor >= hi:
@@ -66,11 +74,38 @@ class PortAllocator:
         return cursor
 
     def allocate(self, range_name: str = "media") -> int:
-        """Take the next free port of ``range_name``."""
+        """Take the next free port of ``range_name``.
+
+        Released ports are reused (lowest first) before the range's
+        sequential cursor advances, so long-lived hosts don't leak
+        ports across session teardown while staying deterministic.
+        """
+        free = self._free[range_name]
+        if free:
+            return heapq.heappop(free)
         return self.allocate_block(1, range_name)
 
+    def release(self, port: int, range_name: str = "media") -> None:
+        """Return a single previously-allocated port to its range."""
+        lo, _hi = self._bounds(range_name)
+        if not (lo <= port < self._cursor[range_name]):
+            raise ValueError(
+                f"node {self.node_id!r}: port {port} of {range_name!r} "
+                f"was never allocated"
+            )
+        if port in self._free[range_name]:
+            raise ValueError(
+                f"node {self.node_id!r}: port {port} of {range_name!r} "
+                f"already released"
+            )
+        heapq.heappush(self._free[range_name], port)
+
     def allocate_block(self, n: int, range_name: str = "media") -> int:
-        """Take ``n`` consecutive ports; returns the base port."""
+        """Take ``n`` consecutive ports; returns the base port.
+
+        Blocks always come from the sequential cursor, never from the
+        released-port pool (which holds single ports only).
+        """
         if n < 1:
             raise ValueError("block size must be >= 1")
         lo, hi = self._bounds(range_name)
@@ -101,6 +136,6 @@ class PortAllocator:
         self._cursor[range_name] = base + n
 
     def allocated(self, range_name: str = "media") -> int:
-        """How many ports of ``range_name`` have been handed out."""
+        """How many ports of ``range_name`` are currently handed out."""
         lo, _hi = self._bounds(range_name)
-        return self._cursor[range_name] - lo
+        return self._cursor[range_name] - lo - len(self._free[range_name])

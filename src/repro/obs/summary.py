@@ -107,6 +107,32 @@ def _lifecycle_table(events: list[TraceEvent]) -> list[list]:
     return rows
 
 
+FAULT_KINDS = ("fault.link", "fault.crash", "fault.restart",
+               "fault.ctl_partition", "fault.ctl_drop", "fault.ctl_delay",
+               "ctl.retry", "hb.miss", "hb.fail", "hb.ok",
+               "recovery.detect", "recovery.stream", "recovery.failed")
+
+
+def _fault_table(events: list[TraceEvent]) -> list[list]:
+    """Fault/recovery activity: counts plus recovery-time stats."""
+    counts: dict[str, int] = {}
+    recover_times: list[float] = []
+    for e in events:
+        if e.kind not in FAULT_KINDS:
+            continue
+        counts[e.kind] = counts.get(e.kind, 0) + 1
+        if e.kind == "recovery.stream":
+            recover_times.append(float(e.args.get("t_recover_s", 0.0)))
+    rows = [[kind, counts[kind], "-"] for kind in sorted(counts)]
+    if recover_times:
+        mean = sum(recover_times) / len(recover_times)
+        rows.append(["recovery.time_mean_s", len(recover_times),
+                     f"{mean:.3f}"])
+        rows.append(["recovery.time_max_s", len(recover_times),
+                     f"{max(recover_times):.3f}"])
+    return rows
+
+
 def _qoe_table(events: list[TraceEvent]) -> list[list]:
     from repro.obs.qoe import score_sessions
 
@@ -156,6 +182,13 @@ def summarize_trace(events: list[TraceEvent], top: int = 12) -> list[dict]:
             "headers": ["time_s", "session", "stream", "action", "grade",
                         "trigger"],
             "rows": grades,
+        })
+    faults = _fault_table(events)
+    if faults:
+        sections.append({
+            "title": "Faults and recovery",
+            "headers": ["kind", "count", "value"],
+            "rows": faults,
         })
     lifecycle = _lifecycle_table(events)
     if lifecycle:

@@ -43,6 +43,15 @@ kind                      emitted by
 ``playout.*``             playout event log (frame, gap, drop, duplicate, ...)
 ``session`` (B/E)         orchestrator per-session lifecycle span
 ``workload``/``population`` (B/E)  orchestrator run-level spans
+``fault.link``            :meth:`~repro.net.link.Link.set_up` transition
+``fault.crash``/``.restart``  media-server crash / restart
+``fault.ctl_partition``   control partition opened / closed
+``fault.ctl_drop``/``.ctl_delay``  control message dropped / delayed
+``ctl.retry``             client RPC timed out; retry scheduled
+``hb.miss``/``.fail``/``.ok``  heartbeat miss / failure declared / recovery
+``recovery.detect``       watchdog noticed a crash (after detect delay)
+``recovery.stream``       stream failed over (``t_recover_s``, target)
+``recovery.failed``       stream could not be restored (``reason``)
 ========================  =====================================================
 
 Frame-lifecycle correlation: data-path events carry ``session`` and a

@@ -41,6 +41,7 @@ class RtpSender:
         stream_id: str,
         mtu_payload: int = DEFAULT_MTU_PAYLOAD,
         session: str = "",
+        first_seq: int = 0,
     ) -> None:
         self.sim: Simulator = network.sim
         self.network = network
@@ -54,7 +55,10 @@ class RtpSender:
         self.stream_id = stream_id
         self.mtu_payload = mtu_payload
         self.session = session
-        self._seq = 0
+        # first_seq lets a failover sender continue the RTP sequence
+        # space of the stream it replaces, keeping receiver-side loss
+        # accounting coherent across the switch.
+        self._seq = first_seq % SEQ_MODULUS
         self.packet_count = 0
         self.octet_count = 0
 

@@ -28,11 +28,46 @@ from repro.rtp.rtcp import RtcpSink
 from repro.rtp.session import RtpSender
 from repro.server.quality_converter import MediaStreamQualityConverter
 
-__all__ = ["StreamHandler", "MediaServer"]
+__all__ = ["StreamHandler", "StreamOrigin", "StreamSnapshot", "MediaServer"]
 
 #: Media servers may share a host node (§6.1), so transmission ports
 #: are allocated from one global pool to avoid collisions.
 _tx_ports = itertools.count(20_000)
+
+
+@dataclass(frozen=True, slots=True)
+class StreamOrigin:
+    """The start_stream arguments that created a handler.
+
+    Kept on the handler so a crash can snapshot everything needed to
+    re-create the stream on a replica.
+    """
+
+    session_id: str
+    stream_id: str
+    object_path: str
+    client_node: str
+    client_port: int
+    duration_s: float
+    floor_grade: int
+    allow_suspend: bool
+    ssrc: int
+    first_seq: int
+
+
+@dataclass(frozen=True, slots=True)
+class StreamSnapshot:
+    """Where one stream stood when its server crashed."""
+
+    origin: StreamOrigin
+    #: media position reached (absolute, scenario timeline)
+    position_s: float
+    #: next unwrapped RTP sequence number the replacement should use
+    next_seq: int
+    #: quality grade in force at the crash
+    grade: int
+    #: simulation time of the crash that produced this snapshot
+    crashed_at: float
 
 
 class StreamHandler:
@@ -119,6 +154,57 @@ class MediaServer:
         self.deliveries: list[DiscreteDelivery] = []
         self._gates: dict[str, PauseGate] = {}
         self._rtcp_sink: RtcpSink | None = None
+        #: fault-injection state: a failed server refuses new work and
+        #: leaves snapshots of its interrupted streams in ``wreckage``
+        #: for the recovery watchdog to fail over
+        self.failed = False
+        self.crashed_at: float | None = None
+        self.crash_count = 0
+        self.wreckage: list[StreamSnapshot] = []
+        #: recovery hooks (wired by a MediaWatchdog when installed)
+        self.on_crash = None
+        self.on_restart = None
+
+    # -- fault injection ---------------------------------------------------
+    def crash(self) -> None:
+        """Fail-stop the server, snapshotting its in-flight streams."""
+        if self.failed:
+            return
+        self.failed = True
+        self.crashed_at = self.sim.now
+        self.crash_count += 1
+        n_streams = 0
+        for key, handler in sorted(self.streams.items()):
+            origin: StreamOrigin | None = getattr(handler, "origin", None)
+            if origin is not None:
+                n_streams += 1
+                self.wreckage.append(StreamSnapshot(
+                    origin=origin,
+                    position_s=handler.source.media_time_s,
+                    next_seq=origin.first_seq + handler.sender.packet_count,
+                    grade=handler.converter.source.grade_index,
+                    crashed_at=self.sim.now,
+                ))
+            handler.stop()
+            handler.sender.close()
+        self.streams.clear()
+        if self.sim._tracing:
+            self.sim._tracer.emit(self.sim.now, "fault.crash", self.name,
+                                  node=self.node_id, streams=n_streams)
+        if self.on_crash is not None:
+            self.on_crash(self)
+
+    def restart(self) -> None:
+        """Bring a crashed server back (empty-handed: state was lost)."""
+        if not self.failed:
+            return
+        self.failed = False
+        self.crashed_at = None
+        if self.sim._tracing:
+            self.sim._tracer.emit(self.sim.now, "fault.restart", self.name,
+                                  node=self.node_id)
+        if self.on_restart is not None:
+            self.on_restart(self)
 
     def _next_port(self) -> int:
         return next(_tx_ports)
@@ -159,12 +245,20 @@ class MediaServer:
         floor_grade: int = 99,
         allow_suspend: bool = True,
         ssrc: int = 0,
+        start_offset_media_s: float = 0.0,
+        first_seq: int = 0,
     ) -> tuple[StreamHandler, MediaStreamQualityConverter]:
         """Activate transmission of one continuous object.
 
         Returns the handler and its quality converter (which the
         Server QoS Manager registers for grading).
+
+        ``start_offset_media_s``/``first_seq`` let a failover replica
+        resume a crashed server's stream mid-object instead of from
+        the beginning.
         """
+        if self.failed:
+            raise RuntimeError(f"media server {self.name!r} is down")
         key = (session_id, stream_id)
         if key in self.streams:
             raise ValueError(
@@ -174,6 +268,8 @@ class MediaServer:
         source = self.store.frame_source(object_path, grade_index=initial_grade)
         # Stream under the scenario's element id, not the storage path.
         source.stream_id = stream_id
+        if start_offset_media_s > 0:
+            source.fast_forward(start_offset_media_s)
         codec = self.store.codec_for(object_path)
         converter = MediaStreamQualityConverter(
             source, floor_grade=floor_grade, allow_suspend=allow_suspend
@@ -183,11 +279,18 @@ class MediaServer:
             client_node, client_port,
             ssrc=ssrc, payload_type=codec.payload_type,
             clock_rate=codec.clock_rate, stream_id=stream_id,
-            session=session_id,
+            session=session_id, first_seq=first_seq,
         )
         handler = StreamHandler(
             self.sim, converter, sender, duration_s=duration_s,
             send_offset_s=send_offset_s, gate=self.gate_for(session_id),
+        )
+        handler.origin = StreamOrigin(
+            session_id=session_id, stream_id=stream_id,
+            object_path=object_path, client_node=client_node,
+            client_port=client_port, duration_s=duration_s,
+            floor_grade=floor_grade, allow_suspend=allow_suspend,
+            ssrc=ssrc, first_seq=first_seq,
         )
         self.streams[key] = handler
         # Natural completion releases the registration (and the port),
@@ -227,6 +330,8 @@ class MediaServer:
         flow_id: str,
     ) -> Event:
         """Ship a discrete object reliably; returns its completion event."""
+        if self.failed:
+            raise RuntimeError(f"media server {self.name!r} is down")
         size = self.store.blob_size(object_path)
         sender = ReliableSender(
             self.network, self.node_id, self._next_port(),

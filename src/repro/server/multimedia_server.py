@@ -77,6 +77,12 @@ class MultimediaServer:
         self.sessions: dict[str, ServedSession] = {}
         #: other servers of the service, for query forwarding (§6.2.2)
         self.peers: dict[str, "MultimediaServer"] = {}
+        #: media-server name -> standby replicas, in failover preference
+        #: order (first healthy one wins)
+        self.replicas: dict[str, list[MediaServer]] = {}
+        #: session_id -> live server-side protocol handler, registered
+        #: by ServerSessionHandler so recovery can notify clients
+        self.session_handlers: dict[str, object] = {}
 
     # -- service topology -------------------------------------------------
     def add_peer(self, server: "MultimediaServer") -> None:
@@ -91,6 +97,36 @@ class MultimediaServer:
             raise KeyError(
                 f"server {self.name!r} has no media server {name!r}"
             ) from None
+
+    def add_replica(self, primary_name: str, replica: MediaServer) -> None:
+        """Register a standby media server for ``primary_name``.
+
+        The replica shares the primary's store contents (same catalog),
+        so it can resume any of the primary's streams after a crash.
+        """
+        self.media_server(primary_name)  # validate the primary exists
+        self.replicas.setdefault(primary_name, []).append(replica)
+
+    def all_media_servers(self) -> list[MediaServer]:
+        """Primaries followed by replicas, in stable order."""
+        servers = list(self.media_servers.values())
+        for name in self.media_servers:
+            servers.extend(self.replicas.get(name, []))
+        return servers
+
+    def healthy_media_server(self, name: str) -> MediaServer | None:
+        """The named media server, or a healthy replica, or None.
+
+        This is the indirection every serving path goes through under
+        faults: it degrades gracefully from the primary to standbys.
+        """
+        primary = self.media_servers.get(name)
+        if primary is not None and not primary.failed:
+            return primary
+        for replica in self.replicas.get(name, []):
+            if not replica.failed:
+                return replica
+        return None
 
     # -- connection admission (§4) -------------------------------------------
     def connect(
@@ -132,6 +168,9 @@ class MultimediaServer:
         self.admission.release(session_id)
         for ms in self.media_servers.values():
             ms.stop_session(session_id)
+        for standbys in self.replicas.values():
+            for ms in standbys:
+                ms.stop_session(session_id)
         minutes = (self.sim.now - session.started_at) / 60.0
         charge = self.accounts.charge_session(session.user.user_id, minutes)
         session.user.log("logout", self.sim.now, self.name)

@@ -50,6 +50,24 @@ class ControlEndpoint:
         self.received: list[ControlMessage] = []
         #: (arrival time, message) — the Figure 3 trace raw material
         self.received_log: list[tuple[float, ControlMessage]] = []
+        #: optional fault-injection hook; duck-typed object with a
+        #: ``decide(now) -> (verdict, delay_s)`` method where verdict is
+        #: "pass", "drop", or "delay" (see repro.faults.control)
+        self.fault = None
+        self.closed = False
+        self.fault_drops = 0
+        #: messages that arrived after close() with no handler to take them
+        self.late_messages = 0
+
+    def close(self) -> None:
+        """Detach the application handler.
+
+        The reliable transport may still deliver queued or retransmitted
+        messages after the session logic tears down; a closed endpoint
+        logs them instead of invoking a stale handler.
+        """
+        self.closed = True
+        self.on_message = None
 
     # wiring (done by ControlChannel)
     def _attach_sender(self, sender: ReliableSender) -> None:
@@ -88,6 +106,25 @@ class ControlEndpoint:
 
     # -- receiving -----------------------------------------------------------
     def _deliver(self, msg: ControlMessage) -> None:
+        if self.fault is not None:
+            verdict, delay_s = self.fault.decide(self.sim.now)
+            if verdict == "drop":
+                self.fault_drops += 1
+                if self.sim._tracing:
+                    self.sim._tracer.emit(self.sim.now, "fault.ctl_drop",
+                                          self.name, msg_type=msg.msg_type,
+                                          req_id=msg.req_id)
+                return
+            if verdict == "delay" and delay_s > 0:
+                if self.sim._tracing:
+                    self.sim._tracer.emit(self.sim.now, "fault.ctl_delay",
+                                          self.name, msg_type=msg.msg_type,
+                                          req_id=msg.req_id, delay=delay_s)
+                self.sim.call_later(delay_s, lambda m=msg: self._dispatch(m))
+                return
+        self._dispatch(msg)
+
+    def _dispatch(self, msg: ControlMessage) -> None:
         self.received.append(msg)
         self.received_log.append((self.sim.now, msg))
         if msg.in_reply_to:
@@ -95,8 +132,16 @@ class ControlEndpoint:
             if ev is not None:
                 ev.succeed(msg)
                 return
-        if self.on_message is not None:
-            self.on_message(msg)
+        if msg.msg_type == "hb":
+            # Heartbeats are acked at the endpoint so liveness probing
+            # works regardless of what the application handler is doing.
+            if not self.closed:
+                self.reply(msg, "hb-ok")
+            return
+        if self.closed or self.on_message is None:
+            self.late_messages += 1
+            return
+        self.on_message(msg)
 
 
 class ControlChannel:
@@ -138,6 +183,8 @@ class ControlChannel:
         self.server._attach_sender(self._tx_server)
 
     def close(self) -> None:
+        self.client.close()
+        self.server.close()
         for part in (self._tx_client, self._tx_server,
                      self._rx_client, self._rx_server):
             part.close()

@@ -46,7 +46,15 @@ class ServerSessionHandler:
         self._rtcp_port: int | None = None
         self._suspend_token = 0
         self.suspended = False
+        # Retry support: clients may resend a request whose reply was
+        # lost, so replies must be reproducible without redoing side
+        # effects (re-admitting, re-starting streams, double-charging).
+        self._connect_ok_body: dict | None = None
+        self._ready_served: str | None = None
+        self._bye_charge: float | None = None
         endpoint.on_message = self._on_message
+        # Let the server reach this handler for recovery notifications.
+        server.session_handlers[session_id] = self
 
     def _next_port(self) -> int:
         """An RTCP sink port from the server host's own allocator.
@@ -78,19 +86,22 @@ class ServerSessionHandler:
             self.endpoint.reply(msg, "connect-reject", {"reason": result.reason})
             return
         self.session = session
-        self.endpoint.reply(
-            msg, "connect-ok",
-            {
-                "server": self.server.name,
-                "description": self.server.description,
-                "topics": self.server.topics(),
-                "documents": self.server.list_documents(),
-                "granted_bw_bps": result.reserved_bw_bps,
-                "negotiated": result.negotiated,
-            },
-        )
+        self._connect_ok_body = {
+            "server": self.server.name,
+            "description": self.server.description,
+            "topics": self.server.topics(),
+            "documents": self.server.list_documents(),
+            "granted_bw_bps": result.reserved_bw_bps,
+            "negotiated": result.negotiated,
+        }
+        self.endpoint.reply(msg, "connect-ok", self._connect_ok_body)
 
     def _handle_connect(self, msg: ControlMessage) -> None:
+        if self.session is not None and self._connect_ok_body is not None:
+            # Duplicate (client retry after a lost reply): re-reply
+            # without re-admitting.
+            self.endpoint.reply(msg, "connect-ok", self._connect_ok_body)
+            return
         user_id = msg.body.get("user_id", "")
         try:
             user = self.server.accounts.authenticate(
@@ -106,6 +117,9 @@ class ServerSessionHandler:
         self._admit(msg, user)
 
     def _handle_subscribe(self, msg: ControlMessage) -> None:
+        if self.session is not None and self._connect_ok_body is not None:
+            self.endpoint.reply(msg, "connect-ok", self._connect_ok_body)
+            return
         body = msg.body
         try:
             form = SubscriptionForm(
@@ -130,6 +144,10 @@ class ServerSessionHandler:
                                 {"reason": "not connected"})
             return
         name = msg.body.get("name", "")
+        # A fresh document request re-arms `ready` (reload included);
+        # only an unchanged ready for the same served document is
+        # treated as a retry duplicate.
+        self._ready_served = None
         try:
             stored = self.server.fetch_document(self.session_id, name)
         except KeyError as exc:
@@ -156,11 +174,32 @@ class ServerSessionHandler:
                                 {"reason": "no active document"})
             return
         name = self.session.active_document
+        if self._ready_served == name:
+            # Duplicate ready (retry): streams are already running.
+            self.endpoint.reply(msg, "streams-started",
+                                {"rtcp_port": self._rtcp_port})
+            return
         flow = self.server.plan_flows(
             self.session_id, name, lead_s=msg.body.get("lead_s", self.flow_lead_s)
         )
         rtp_ports: dict[str, int] = msg.body.get("rtp_ports", {})
         discrete_ports: dict[str, int] = msg.body.get("discrete_ports", {})
+        # Resolve every media server up front so a crashed one (with no
+        # healthy replica) rejects the request instead of leaving the
+        # presentation half-activated.
+        needed = {spec.server for spec in flow.continuous()
+                  if spec.stream_id in rtp_ports}
+        needed |= {spec.server for spec in flow.discrete()
+                   if spec.stream_id in discrete_ports}
+        targets = {}
+        for ms_name in sorted(needed):
+            ms = self.server.healthy_media_server(ms_name)
+            if ms is None:
+                self.endpoint.reply(msg, "request-reject",
+                                    {"reason": "media-unavailable",
+                                     "server": ms_name})
+                return
+            targets[ms_name] = ms
         if self._rtcp_port is None:
             self._rtcp_port = self._next_port()
             from repro.rtp.rtcp import RtcpSink  # local import avoids cycle
@@ -174,7 +213,7 @@ class ServerSessionHandler:
         for spec in flow.continuous():
             if spec.stream_id not in rtp_ports:
                 continue
-            ms = self.server.media_server(spec.server)
+            ms = targets[spec.server]
             ssrc += 1
             from repro.media.types import MediaType
 
@@ -204,26 +243,27 @@ class ServerSessionHandler:
         for spec in flow.discrete():
             if spec.stream_id not in discrete_ports:
                 continue
-            ms = self.server.media_server(spec.server)
+            ms = targets[spec.server]
             ms.send_discrete(
                 spec.stream_id, spec.path, self.client_node,
                 discrete_ports[spec.stream_id],
                 flow_id=f"{self.session_id}:{spec.stream_id}",
             )
+        self._ready_served = name
         self.endpoint.reply(msg, "streams-started",
                             {"rtcp_port": self._rtcp_port})
 
     # -- interactive operations ----------------------------------------------
     def _pause_all(self) -> None:
-        for ms in self.server.media_servers.values():
+        for ms in self.server.all_media_servers():
             ms.pause_session(self.session_id)
 
     def _resume_all(self) -> None:
-        for ms in self.server.media_servers.values():
+        for ms in self.server.all_media_servers():
             ms.resume_session(self.session_id)
 
     def _stop_all_streams(self) -> None:
-        for ms in self.server.media_servers.values():
+        for ms in self.server.all_media_servers():
             ms.stop_session(self.session_id)
         if self.session is not None:
             for sid in list(self.session.qos_manager.streams()):
@@ -246,7 +286,7 @@ class ServerSessionHandler:
         transmitting that stream."""
         stream_id = msg.body.get("stream_id", "")
         found = False
-        for ms in self.server.media_servers.values():
+        for ms in self.server.all_media_servers():
             if (self.session_id, stream_id) in ms.streams:
                 ms.stop_stream(self.session_id, stream_id)
                 found = True
@@ -271,12 +311,27 @@ class ServerSessionHandler:
                             lambda: self._suspend_expire(token))
         self.endpoint.reply(msg, "suspended", {"grace_s": self.suspend_grace_s})
 
+    def _release_rtcp(self) -> None:
+        """Close the feedback sink and return its port to the node."""
+        if self.rtcp_sink is not None:
+            self.rtcp_sink.close()
+            self.rtcp_sink = None
+        if self._rtcp_port is not None:
+            network = _network_of(self.server)
+            network.node(self.server.node_id).ports.release(
+                self._rtcp_port, "rtcp"
+            )
+            self._rtcp_port = None
+        self._ready_served = None
+
     def _suspend_expire(self, token: int) -> None:
         if token != self._suspend_token or not self.suspended:
             return
         self.suspended = False
         self.server.disconnect(self.session_id)
         self.session = None
+        self._release_rtcp()
+        self.server.session_handlers.pop(self.session_id, None)
         # "When this interval is passed the connection closes and the
         # attached client is informed about the event."
         self.endpoint.send("suspend-expired", {})
@@ -290,10 +345,31 @@ class ServerSessionHandler:
             self.endpoint.reply(msg, "expired", {})
 
     def _handle_disconnect(self, msg: ControlMessage) -> None:
+        if self._bye_charge is not None:
+            # Duplicate disconnect (retry): the session is already torn
+            # down and charged; just repeat the answer.
+            self.endpoint.reply(msg, "bye", {"charge": self._bye_charge})
+            return
         self._stop_all_streams()
         charge = self.server.disconnect(self.session_id)
         self.session = None
+        self._release_rtcp()
+        self.server.session_handlers.pop(self.session_id, None)
+        self._bye_charge = charge
         self.endpoint.reply(msg, "bye", {"charge": charge})
+
+    # -- recovery notifications (watchdog -> client) ---------------------------
+    def notify_stream_fault(self, stream_ids: list[str], server: str) -> None:
+        """Tell the client its delivery path failed (detection)."""
+        self.endpoint.send("stream-fault",
+                           {"streams": sorted(stream_ids), "server": server})
+
+    def notify_stream_recovered(self, stream_id: str, server: str,
+                                t_recover_s: float) -> None:
+        """Tell the client one stream was failed over."""
+        self.endpoint.send("stream-recovered",
+                           {"stream_id": stream_id, "server": server,
+                            "t_recover_s": t_recover_s})
 
 
 def _network_of(server: MultimediaServer):
@@ -317,6 +393,19 @@ class ClientSession:
         self.documents: list[str] = []
         self.last_markup: str | None = None
         self.suspend_expired = False
+        #: retry policy for control RPCs (duck-typed, see
+        #: repro.faults.control.RetryPolicy); None = wait forever, the
+        #: pre-fault behaviour
+        self.retry = None
+        #: RNG for retry jitter (required when ``retry`` is set)
+        self.retry_rng = None
+        #: control requests resent after a timeout
+        self.retries = 0
+        #: streams restored by server-side failover
+        self.recoveries = 0
+        #: stream ids currently known faulted (drives the RECOVERING
+        #: state: entered on first fault, left when the set empties)
+        self._faulted: set[str] = set()
         endpoint.on_message = self._on_unsolicited
 
     def _on_unsolicited(self, msg: ControlMessage) -> None:
@@ -324,6 +413,51 @@ class ClientSession:
             self.suspend_expired = True
             if self.fsm.state is SessionState.SUSPENDING:
                 self.fsm.fire(E.SUSPEND_EXPIRED, self.sim.now)
+        elif msg.msg_type == "stream-fault":
+            self._faulted.update(msg.body.get("streams", []))
+            if self.fsm.can_fire(E.STREAM_FAULT):
+                self.fsm.fire(E.STREAM_FAULT, self.sim.now)
+        elif msg.msg_type == "stream-recovered":
+            self._faulted.discard(msg.body.get("stream_id", ""))
+            self.recoveries += 1
+            if not self._faulted and self.fsm.can_fire(E.STREAM_RECOVERED):
+                self.fsm.fire(E.STREAM_RECOVERED, self.sim.now)
+
+    # -- control RPC with optional retry --------------------------------------
+    def _rpc(self, msg_type: str, body: dict | None = None,
+             size_bytes: int | None = None) \
+            -> Generator[Any, Any, ControlMessage]:
+        """Send a request and wait for its reply.
+
+        With no retry policy this waits forever (the transport
+        retransmits, so on a merely slow path the reply eventually
+        arrives). With a policy, each attempt races a timeout; lost
+        messages (endpoint-level drops, crashed peers) are retried with
+        exponential backoff and deterministic jitter, and exhaustion
+        returns a synthetic ``rpc-timeout`` message so callers degrade
+        instead of hanging.
+        """
+        if self.retry is None:
+            _, ev = self.endpoint.request(msg_type, body,
+                                          size_bytes=size_bytes)
+            resp: ControlMessage = yield ev
+            return resp
+        timeout_s = self.retry.timeout_s
+        for attempt in range(self.retry.max_attempts):
+            _, ev = self.endpoint.request(msg_type, body,
+                                          size_bytes=size_bytes)
+            yield self.sim.any_of([ev, self.sim.timeout(timeout_s)])
+            if ev.triggered:
+                return ev.value
+            if self.sim._tracing:
+                self.sim._tracer.emit(self.sim.now, "ctl.retry", msg_type,
+                                      attempt=attempt + 1,
+                                      timeout_s=timeout_s)
+            if attempt + 1 < self.retry.max_attempts:
+                self.retries += 1
+                timeout_s = self.retry.next_timeout(timeout_s, self.retry_rng)
+        return ControlMessage(msg_type="rpc-timeout",
+                              body={"request": msg_type})
 
     # -- coroutines (use with `yield from`) ---------------------------------
     def connect(self, required_bw_bps: float = 2e6,
@@ -337,8 +471,7 @@ class ClientSession:
                 "required_bw_bps": required_bw_bps}
         if min_bw_bps is not None:
             body["min_bw_bps"] = min_bw_bps
-        _, ev = self.endpoint.request("connect", body)
-        resp: ControlMessage = yield ev
+        resp: ControlMessage = yield from self._rpc("connect", body)
         if resp.msg_type == "connect-ok":
             self.fsm.fire(E.AUTH_OK, self.sim.now)
             self.topics = resp.body["topics"]
@@ -361,8 +494,7 @@ class ClientSession:
         }
         if min_bw_bps is not None:
             body["min_bw_bps"] = min_bw_bps
-        _, ev = self.endpoint.request("subscribe", body)
-        resp: ControlMessage = yield ev
+        resp: ControlMessage = yield from self._rpc("subscribe", body)
         if resp.msg_type == "connect-ok":
             self.fsm.fire(E.SUBSCRIBED, self.sim.now)
             self.topics = resp.body["topics"]
@@ -378,8 +510,8 @@ class ClientSession:
         followed — the FSM edge was consumed by that action."""
         if not via_link:
             self.fsm.fire(E.REQUEST_DOCUMENT, self.sim.now)
-        _, ev = self.endpoint.request("request-doc", {"name": name})
-        resp: ControlMessage = yield ev
+        resp: ControlMessage = yield from self._rpc("request-doc",
+                                                    {"name": name})
         if resp.msg_type == "scenario":
             self.fsm.fire(E.SCENARIO_RECEIVED, self.sim.now)
             self.last_markup = resp.body["markup"]
@@ -393,37 +525,32 @@ class ClientSession:
     def send_ready(self, rtp_ports: dict[str, int],
                    discrete_ports: dict[str, int],
                    lead_s: float = 1.0) -> Generator[Any, Any, ControlMessage]:
-        _, ev = self.endpoint.request(
+        resp: ControlMessage = yield from self._rpc(
             "ready",
             {"rtp_ports": rtp_ports, "discrete_ports": discrete_ports,
              "lead_s": lead_s},
         )
-        resp: ControlMessage = yield ev
         return resp
 
     def pause(self) -> Generator[Any, Any, ControlMessage]:
         self.fsm.fire(E.PAUSE, self.sim.now)
-        _, ev = self.endpoint.request("pause")
-        resp = yield ev
+        resp = yield from self._rpc("pause")
         return resp
 
     def resume(self) -> Generator[Any, Any, ControlMessage]:
         self.fsm.fire(E.RESUME, self.sim.now)
-        _, ev = self.endpoint.request("resume")
-        resp = yield ev
+        resp = yield from self._rpc("resume")
         return resp
 
     def disable_stream(self, stream_id: str) \
             -> Generator[Any, Any, ControlMessage]:
         """Ask the server to stop transmitting one media stream (§5)."""
-        _, ev = self.endpoint.request("disable-stream",
-                                      {"stream_id": stream_id})
-        resp = yield ev
+        resp = yield from self._rpc("disable-stream",
+                                    {"stream_id": stream_id})
         return resp
 
     def search(self, token: str) -> Generator[Any, Any, dict[str, list[str]]]:
-        _, ev = self.endpoint.request("search", {"token": token})
-        resp: ControlMessage = yield ev
+        resp: ControlMessage = yield from self._rpc("search", {"token": token})
         return resp.body.get("results", {})
 
     def end_presentation(self) -> None:
@@ -437,13 +564,11 @@ class ClientSession:
 
     def suspend_for_remote_link(self) -> Generator[Any, Any, ControlMessage]:
         self.fsm.fire(E.FOLLOW_LINK_REMOTE, self.sim.now)
-        _, ev = self.endpoint.request("suspend")
-        resp = yield ev
+        resp = yield from self._rpc("suspend")
         return resp
 
     def resume_connection(self) -> Generator[Any, Any, ControlMessage]:
-        _, ev = self.endpoint.request("resume-conn")
-        resp: ControlMessage = yield ev
+        resp: ControlMessage = yield from self._rpc("resume-conn")
         if resp.msg_type == "resumed-conn":
             self.fsm.fire(E.RECONNECTED, self.sim.now)
         elif self.fsm.state is SessionState.SUSPENDING:
@@ -451,12 +576,10 @@ class ClientSession:
         return resp
 
     def stop_streams(self) -> Generator[Any, Any, ControlMessage]:
-        _, ev = self.endpoint.request("stop-streams")
-        resp = yield ev
+        resp = yield from self._rpc("stop-streams")
         return resp
 
     def disconnect(self) -> Generator[Any, Any, float]:
-        _, ev = self.endpoint.request("disconnect")
-        resp: ControlMessage = yield ev
+        resp: ControlMessage = yield from self._rpc("disconnect")
         self.fsm.fire(E.DISCONNECT, self.sim.now)
         return resp.body.get("charge", 0.0)

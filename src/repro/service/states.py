@@ -35,6 +35,9 @@ class SessionState(enum.Enum):
     VIEWING = "viewing"
     PAUSED = "paused"
     SUSPENDING = "suspending"
+    #: a presentation whose delivery path failed (server crash, cut
+    #: link) while detection/failover is in progress
+    RECOVERING = "recovering"
 
 
 class SessionEvent(enum.Enum):
@@ -54,6 +57,9 @@ class SessionEvent(enum.Enum):
     FOLLOW_LINK_REMOTE = "follow-link-remote"
     RECONNECTED = "reconnected"
     SUSPEND_EXPIRED = "suspend-expired"
+    STREAM_FAULT = "stream-fault"
+    STREAM_RECOVERED = "stream-recovered"
+    RECOVERY_FAILED = "recovery-failed"
     DISCONNECT = "disconnect"
 
 
@@ -82,6 +88,16 @@ TRANSITIONS: dict[tuple[SessionState, SessionEvent], SessionState] = {
     (S.PAUSED, E.FOLLOW_LINK_REMOTE): S.SUSPENDING,
     (S.SUSPENDING, E.RECONNECTED): S.REQUESTING,
     (S.SUSPENDING, E.SUSPEND_EXPIRED): S.BROWSING,
+    # Recovery extension: a delivery fault during playback enters
+    # RECOVERING; failover restores VIEWING, an unrecoverable fault or
+    # natural end of the (gap-filled) presentation falls back to
+    # BROWSING. Repeated faults while recovering self-loop.
+    (S.VIEWING, E.STREAM_FAULT): S.RECOVERING,
+    (S.PAUSED, E.STREAM_FAULT): S.RECOVERING,
+    (S.RECOVERING, E.STREAM_FAULT): S.RECOVERING,
+    (S.RECOVERING, E.STREAM_RECOVERED): S.VIEWING,
+    (S.RECOVERING, E.RECOVERY_FAILED): S.BROWSING,
+    (S.RECOVERING, E.PRESENTATION_END): S.BROWSING,
 }
 
 _DISCONNECTABLE = [s for s in SessionState if s is not S.DISCONNECTED]

@@ -1,0 +1,195 @@
+"""End-to-end fault injection: failover, retry, determinism, teardown."""
+
+from repro.core.config import EngineConfig
+from repro.core.engine import ServiceEngine
+from repro.faults import FaultPlan, population_digest
+from repro.faults.scenarios import (
+    chaos_markup,
+    check_determinism,
+    run_chaos,
+)
+from repro.server.accounts import SubscriptionForm
+
+
+# -- acceptance: crash failover saves the population --------------------------
+
+def test_crash_failover_saves_most_sessions():
+    run = run_chaos("crash", smoke=True)
+    a = run.artifact
+    assert a["sessions"] == 4
+    assert a["completed"] == a["sessions"]
+    # >= 80% of sessions must actually deliver their media via failover
+    assert a["delivered"] >= 0.8 * a["sessions"]
+    assert a["recoveries"] > 0
+    assert a["watchdog"]["detections"] >= 1
+    assert a["watchdog"]["streams_failed_over"] > 0
+    assert a["watchdog"]["streams_lost"] == 0
+    assert a["watchdog"]["sessions_saved"] == a["sessions"]
+    # per-session recovery counts surface on SessionResult
+    assert any(o.result.recoveries > 0 for o in run.population)
+
+
+def test_crash_without_recovery_ruins_delivery():
+    run = run_chaos("crash", smoke=True, recovery=False, retry=False)
+    a = run.artifact
+    assert a["delivered"] <= 0.2 * a["sessions"]
+    assert a["recoveries"] == 0
+
+
+def test_time_to_recover_lands_in_metrics_and_trace():
+    run = run_chaos("crash", smoke=True)
+    registry = run.population.metrics.get("_registry", {})
+    hists = registry.get("histograms", registry)
+    flat = str(hists)
+    assert "fault_time_to_recover_s" in flat
+    assert "fault_time_to_detect_s" in flat
+
+
+# -- acceptance: determinism --------------------------------------------------
+
+def test_same_seed_same_plan_identical_results():
+    same, d1, d2 = check_determinism("crash", smoke=True)
+    assert same, f"{d1} != {d2}"
+
+
+def test_empty_plan_is_inert():
+    def build(install):
+        eng = ServiceEngine(EngineConfig(seed=31))
+        eng.add_server("srv1",
+                       documents={"doc": (chaos_markup(2.0), "t")})
+        if install:
+            eng.install_faults(FaultPlan())
+        pop = eng.orchestrator.run_population(2, "srv1", "doc",
+                                              stagger_s=0.3)
+        return population_digest(pop)
+
+    assert build(False) == build(True)
+
+
+# -- control partition + retry ------------------------------------------------
+
+def test_partition_rides_out_on_retry():
+    run = run_chaos("partition", smoke=True)
+    a = run.artifact
+    assert a["completed"] == a["sessions"]
+    assert a["retries"] > 0
+    assert any(o.result.retries > 0 for o in run.population)
+
+
+def test_partition_without_retry_strands_sessions():
+    run = run_chaos("partition", smoke=True, retry=False)
+    a = run.artifact
+    assert a["completed"] < a["sessions"]
+
+
+# -- link flap: graceful degradation ------------------------------------------
+
+def test_link_flap_degrades_but_completes():
+    run = run_chaos("flap", smoke=True)
+    a = run.artifact
+    assert a["completed"] == a["sessions"]
+    # the outage shows up as playout gaps, not hung sessions
+    assert any(o.result.total_gaps() > 0 for o in run.population)
+
+
+# -- combo ---------------------------------------------------------------------
+
+def test_combo_scenario_runs_deterministically():
+    same, d1, d2 = check_determinism("combo", smoke=True)
+    assert same, f"{d1} != {d2}"
+
+
+# -- teardown satellites -------------------------------------------------------
+
+def build_engine(grace=30.0, seed=7):
+    eng = ServiceEngine(EngineConfig(seed=seed, suspend_grace_s=grace))
+    eng.add_server("srv1", documents={"doc": (chaos_markup(3.0), "t")})
+    return eng
+
+
+def test_rtcp_port_released_and_reused_across_sessions():
+    eng = build_engine()
+    server = eng.servers["srv1"]
+    ports = eng.network.node(server.node_id).ports
+    r1 = eng.orchestrator.run_full_session("srv1", "doc")
+    assert r1.completed
+    assert ports.allocated("rtcp") == 0
+    r2 = eng.orchestrator.run_full_session("srv1", "doc", user_id="user2")
+    assert r2.completed
+    assert ports.allocated("rtcp") == 0
+
+
+def test_suspend_grace_expiry_reclaims_resources():
+    eng = build_engine(grace=2.0)
+    server = eng.servers["srv1"]
+    ports = eng.network.node(server.node_id).ports
+    client, handler = eng.open_session("srv1", "ada", "pw")
+
+    def script():
+        resp = yield from client.connect()
+        if resp.msg_type == "subscribe-required":
+            resp = yield from client.subscribe(SubscriptionForm(
+                real_name="Ada", address="x", email="ada@example.org"))
+        assert resp.msg_type == "connect-ok"
+        resp = yield from client.request_document("doc")
+        comp = eng.build_client_composition(resp.body["markup"], server)
+        ready = yield from client.send_ready(comp.rtp_ports,
+                                             comp.discrete_ports)
+        assert ready.msg_type == "streams-started"
+        resp = yield from client.suspend_for_remote_link()
+        assert resp.msg_type == "suspended"
+
+    proc = eng.sim.process(script())
+    eng.sim.run(until=proc)
+    assert ports.allocated("rtcp") == 1
+    assert handler.session_id in server.session_handlers
+
+    # Grace passes with no reattach: everything must be reclaimed.
+    eng.sim.run(until=eng.sim.timeout(5.0))
+    assert handler.session is None
+    assert handler.rtcp_sink is None
+    assert ports.allocated("rtcp") == 0
+    assert handler.session_id not in server.session_handlers
+    assert handler.session_id not in server.sessions
+    assert client.suspend_expired
+
+
+def test_suspend_resume_within_grace_keeps_resources():
+    eng = build_engine(grace=10.0)
+    server = eng.servers["srv1"]
+    ports = eng.network.node(server.node_id).ports
+    client, handler = eng.open_session("srv1", "ada", "pw")
+
+    def script():
+        resp = yield from client.connect()
+        if resp.msg_type == "subscribe-required":
+            resp = yield from client.subscribe(SubscriptionForm(
+                real_name="Ada", address="x", email="ada@example.org"))
+        resp = yield from client.request_document("doc")
+        comp = eng.build_client_composition(resp.body["markup"], server)
+        yield from client.send_ready(comp.rtp_ports, comp.discrete_ports)
+        yield from client.suspend_for_remote_link()
+        yield eng.sim.timeout(1.0)
+        resp = yield from client.resume_connection()
+        assert resp.msg_type == "resumed-conn"
+
+    proc = eng.sim.process(script())
+    eng.sim.run(until=proc)
+    eng.sim.run(until=eng.sim.timeout(3.0))
+    assert handler.session is not None
+    assert ports.allocated("rtcp") == 1
+    assert handler.session_id in server.session_handlers
+
+
+# -- failover keeps the stream position honest --------------------------------
+
+def test_failover_resumes_realtime_aligned():
+    run = run_chaos("crash", smoke=True)
+    # Recovered sessions lose roughly the outage window, never the
+    # whole remainder of the presentation.
+    for outcome in run.population:
+        if outcome.result.recoveries == 0:
+            continue
+        assert outcome.result.total_gap_ratio() < 0.5
+        for stream in outcome.result.streams.values():
+            assert stream.frames_played > 0
