@@ -22,7 +22,8 @@ def test_fig2_schedule_matches_paper(report, once):
     by_id = {e.stream_id: e for e in schedule}
     # The paper's timeline constraints:
     assert by_id["I1"].start_time == 0.0  # I1 at presentation start
-    assert by_id["I2"].start_time >= by_id["I1"].start_time + by_id["I1"].duration - 1e-9
+    assert (by_id["I2"].start_time
+            >= by_id["I1"].start_time + by_id["I1"].duration - 1e-9)
     assert by_id["A1"].start_time == by_id["V"].start_time  # synchronized
     assert by_id["A1"].duration == by_id["V"].duration  # start & stop together
     assert by_id["A1"].sync_group == by_id["V"].sync_group

@@ -22,6 +22,17 @@ from repro.hml import DocumentBuilder, serialize
 from repro.server.qos_manager import GradingPolicy
 
 
+#: the bulletin has no outgoing links; the set is self-contained
+SCENARIO_CLOSED = True
+#: the subscriber's access link, for the static bandwidth check
+SCENARIO_CAPACITY_MBPS = 2.5
+
+
+def scenario_documents() -> dict[str, str]:
+    """The bulletin as markup, for the scenario analyzer."""
+    return {"bulletin": news_bulletin()}
+
+
 def news_bulletin(duration: float = 30.0) -> str:
     doc = (
         DocumentBuilder("Evening news bulletin")

@@ -9,6 +9,21 @@ Run:  python examples/distance_education.py
 
 from repro.analysis import render_table
 from repro.hermes import Attachment, HermesService, MailMessage, make_course
+from repro.hml import serialize
+
+#: each course links only within itself; both are fully authored here
+SCENARIO_CLOSED = True
+
+
+def scenario_documents() -> dict[str, str]:
+    """Every lesson of both courses, for the scenario analyzer."""
+    lessons = (
+        make_course("routing", "networking", n_lessons=3, segment_s=5.0,
+                    tutor="dr-net")
+        + make_course("fresco", "painting", n_lessons=2, segment_s=5.0,
+                      tutor="prof-arte")
+    )
+    return {lesson.name: serialize(lesson.document) for lesson in lessons}
 
 
 def main() -> None:

@@ -10,12 +10,16 @@ from repro.core import ServiceEngine
 from repro.hml import DocumentBuilder, parse, serialize, validate_document
 from repro.model import PresentationScenario, ascii_timeline
 
+#: the link target lives on another (unsimulated) server
+SCENARIO_CLOSED = False
 
-def main() -> None:
-    # 1. Author a document with the markup builder. STARTIME/DURATION
-    #    are the paper's temporal extension of HTML: each media element
-    #    knows when (relative to presentation start) and how long it
-    #    plays; AU_VI pairs are lip-synced.
+
+def scenario_documents() -> dict[str, str]:
+    """The example's documents as markup, for the scenario analyzer."""
+    # Author a document with the markup builder. STARTIME/DURATION
+    # are the paper's temporal extension of HTML: each media element
+    # knows when (relative to presentation start) and how long it
+    # plays; AU_VI pairs are lip-synced.
     doc = (
         DocumentBuilder("Welcome to the on-demand service")
         .heading(1, "A first orchestrated presentation")
@@ -29,10 +33,16 @@ def main() -> None:
         .hyperlink("second-document", at_time=13.0)
         .build()
     )
+    return {"welcome": serialize(doc)}
+
+
+def main() -> None:
+    # 1. Author the document (see scenario_documents).
+    markup = scenario_documents()["welcome"]
+    doc = parse(markup)
 
     # 2. The document is a text file on the wire; it round-trips.
-    markup = serialize(doc)
-    assert parse(markup) == doc
+    assert serialize(doc) == markup
     assert not [i for i in validate_document(doc) if i.is_error]
     print("--- markup (the presentation scenario, as transmitted) ---")
     print(markup)

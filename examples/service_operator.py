@@ -20,6 +20,17 @@ from repro.core.experiments import (
 )
 
 
+#: a single self-contained A/V document, no outgoing links
+SCENARIO_CLOSED = True
+#: the shared access link every viewer rides
+SCENARIO_CAPACITY_MBPS = 8.0
+
+
+def scenario_documents() -> dict[str, str]:
+    """The operator's catalogue document, for the scenario analyzer."""
+    return {"doc": av_markup(8.0)}
+
+
 def main() -> None:
     # 1. Concurrent viewers on one access link.
     print("Scaling concurrent viewers on an 8 Mb/s access link")

@@ -16,6 +16,10 @@ from repro.server.accounts import SubscriptionForm
 from repro.service import SessionState
 
 
+#: both museums' documents are part of the scenario set
+SCENARIO_CLOSED = True
+
+
 def room(title: str, narration: str, n_paintings: int,
          remote_link: str | None = None) -> str:
     b = DocumentBuilder(title).heading(1, title).text(narration)
@@ -33,15 +37,24 @@ def room(title: str, narration: str, n_paintings: int,
     return serialize(b.build())
 
 
+def scenario_documents() -> dict[str, str]:
+    """Both museums' documents, for the scenario analyzer."""
+    return {
+        "room-a": room("Flemish room", "Works on loan from Bruges.", 2,
+                       remote_link="museo-due:annex"),
+        "annex": room("Annex", "The companion piece.", 1),
+    }
+
+
 def main() -> None:
     cfg = EngineConfig(suspend_grace_s=20.0)
     engine = ServiceEngine(cfg)
+    docs = scenario_documents()
     engine.add_server("museo-uno", documents={
-        "room-a": (room("Flemish room", "Works on loan from Bruges.", 2,
-                        remote_link="museo-due:annex"), "galleries"),
+        "room-a": (docs["room-a"], "galleries"),
     }, description="Museo Uno — permanent collection")
     engine.add_server("museo-due", documents={
-        "annex": (room("Annex", "The companion piece.", 1), "galleries"),
+        "annex": (docs["annex"], "galleries"),
     }, description="Museo Due — special exhibitions")
 
     sim = engine.sim
@@ -66,7 +79,7 @@ def main() -> None:
                              engine.servers["museo-uno"].node_id)
         done = comp.start()
         yield done
-        comp.qos.stop()
+        comp.close()
         log.append(f"t={sim.now:.2f} finished the Flemish room")
 
         # Follow the cross-server link (still in the VIEWING state):
@@ -85,7 +98,7 @@ def main() -> None:
                               engine.servers["museo-due"].node_id)
         done2 = comp2.start()
         yield done2
-        comp2.qos.stop()
+        comp2.close()
         log.append(f"t={sim.now:.2f} viewed the annex at museo-due")
         yield from client2.disconnect()
 

@@ -15,6 +15,13 @@ Usage:
                                       # fault-injection run: scheduled
                                       # crashes/flaps/partitions with
                                       # failover + retry defences
+    python -m repro lint --self --scenarios
+                                      # static analysis: determinism
+                                      # linter over src/repro + HML
+                                      # scenario analyzer over the
+                                      # shipped scenario corpus
+    python -m repro lint PATH [...]   # lint .py files/trees and .hml
+                                      # scenario files/directories
 
 Any command accepts ``--json`` to emit one machine-readable document
 instead of text tables.
@@ -379,6 +386,51 @@ def _chaos(args: list[str], report: Reporter) -> int:
     return 1 if failed else 0
 
 
+def _lint(args: list[str], report: Reporter) -> int:
+    """``lint`` subcommand: scenario analyzer + determinism linter."""
+    from repro.analysis.runner import list_rules, run_lint
+
+    self_lint = False
+    scenarios = False
+    closed = False
+    capacity_bps: float | None = None
+    examples_dir: str | None = None
+    paths: list[str] = []
+    i = 0
+    while i < len(args):
+        a = args[i]
+        if a == "--self":
+            self_lint = True
+        elif a == "--scenarios":
+            scenarios = True
+        elif a == "--closed-set":
+            closed = True
+        elif a == "--capacity-mbps":
+            i += 1
+            capacity_bps = float(args[i]) * 1e6
+        elif a == "--examples-dir":
+            i += 1
+            examples_dir = args[i]
+        elif a == "--list-rules":
+            return list_rules(report)
+        elif a in ("-h", "--help"):
+            report.text(
+                "usage: python -m repro lint [PATH ...] [--self] "
+                "[--scenarios] [--capacity-mbps F] [--closed-set] "
+                "[--examples-dir DIR] [--list-rules]")
+            report.text(
+                "PATHs ending in .py (or directories of Python code) go "
+                "to the determinism linter; .hml files/directories go to "
+                "the scenario analyzer as one scenario set.")
+            return 0
+        else:
+            paths.append(a)
+        i += 1
+    return run_lint(report, paths=paths, self_lint=self_lint,
+                    scenarios=scenarios, capacity_bps=capacity_bps,
+                    closed=closed, examples_dir=examples_dir)
+
+
 def main(argv: list[str] | None = None) -> int:
     args = list(sys.argv[1:] if argv is None else argv)
     json_mode = "--json" in args
@@ -405,6 +457,8 @@ def main(argv: list[str] | None = None) -> int:
             return _bench(args[1:], report)
         if cmd == "chaos":
             return _chaos(args[1:], report)
+        if cmd == "lint":
+            return _lint(args[1:], report)
         if cmd == "run":
             if len(args) < 2:
                 report.text("usage: python -m repro run "

@@ -1,6 +1,35 @@
-"""Result analysis and report rendering for the experiment harness."""
+"""Result analysis, report rendering, and the static-analysis engine.
 
+Besides the experiment-harness helpers (stats, tables, trace series),
+this package hosts the unified static-analysis subsystem: a shared
+diagnostics engine (:mod:`repro.analysis.diagnostics`) with two rule
+families — the HML scenario analyzer
+(:mod:`repro.analysis.scenario_rules`) and the simulation determinism
+linter (:mod:`repro.analysis.pyrules`) — exposed through
+``python -m repro lint`` (:mod:`repro.analysis.runner`).
+"""
+
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    Rule,
+    RuleRegistry,
+    Severity,
+    SourceSpan,
+    exit_code,
+    render_diagnostics,
+    summarize_diagnostics,
+)
+from repro.analysis.pyrules import PY_RULES, lint_file, lint_paths, lint_source
 from repro.analysis.report import Reporter
+from repro.analysis.scenario_rules import (
+    SCENARIO_RULES,
+    BandwidthVerdict,
+    ScenarioSet,
+    analyze_document,
+    analyze_set,
+    bandwidth_profile,
+    check_bandwidth,
+)
 from repro.analysis.stats import mean_ci, summarize
 from repro.analysis.tables import render_series, render_table
 from repro.analysis.traces import (
@@ -11,13 +40,32 @@ from repro.analysis.traces import (
 )
 
 __all__ = [
+    "PY_RULES",
+    "SCENARIO_RULES",
+    "BandwidthVerdict",
+    "Diagnostic",
     "Reporter",
+    "Rule",
+    "RuleRegistry",
+    "ScenarioSet",
+    "Severity",
+    "SourceSpan",
+    "analyze_document",
+    "analyze_set",
+    "bandwidth_profile",
+    "check_bandwidth",
     "event_rate_series",
+    "exit_code",
     "gap_timeline",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
     "mean_ci",
     "occupancy_series",
+    "render_diagnostics",
     "render_series",
     "render_table",
     "staircase_at",
     "summarize",
+    "summarize_diagnostics",
 ]

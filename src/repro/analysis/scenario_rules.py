@@ -1,0 +1,382 @@
+"""Whole-scenario static analysis over parsed HML documents.
+
+:mod:`repro.hml.validate` checks per-node constraints (ids unique,
+times sane). This module checks what only the *whole* scenario — or a
+whole multi-document scenario set — can reveal, ahead of any byte
+streaming:
+
+``scenario-sync-interval``
+    AU_VI sync-group members must occupy one coincident, positive
+    interval: "the two media should start and stop playing at the
+    same time" (§3.1). Fires on diverging starts/ends, negative or
+    zero-length intervals, and open-ended members paired with bounded
+    ones.
+
+``scenario-link-window``
+    A timed ``HLINK AT t`` must fire inside its anchor document's
+    active interval ``[0, scenario_end]``: a link timed after the last
+    media ends leaves the presentation idling with nothing driving the
+    clock; ``t`` before the end is the (legal) early-cut authoring
+    choice and only warns.
+
+``scenario-link-dangling``
+    Every hyperlink target must resolve inside the scenario set.
+    Errors in *closed* sets (the authored universe is complete —
+    e.g. a Hermes course); warns in open sets where targets may live
+    on servers outside the analyzed corpus.
+
+``scenario-bandwidth``
+    Static bandwidth feasibility: the worst-case concurrent-bandwidth
+    step function (codec best-grade rates from
+    :func:`repro.media.encodings.default_registry` over playout
+    intervals) must fit the declared access capacity. This is the
+    authoring-time mirror of the flow scheduler's admission charge:
+    :meth:`FlowScenario.peak_rate_bps` computes the identical peak at
+    grade 0, so the static verdict and the runtime admission decision
+    agree by construction. If only quality-grade degradation (every
+    gradable stream at its ladder's bottom rung) makes the peak fit,
+    the finding downgrades to a warning — admission would still admit
+    the session, negotiated down toward its floor.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from dataclasses import dataclass, field
+
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    RuleRegistry,
+    Severity,
+    SourceSpan,
+)
+from repro.hml.ast import HmlDocument, HyperLink
+from repro.media.encodings import CodecRegistry, default_registry
+from repro.model.sync import PlayoutEntry, build_playout_schedule
+
+__all__ = [
+    "SCENARIO_RULES",
+    "ScenarioSet",
+    "ScenarioContext",
+    "BandwidthVerdict",
+    "bandwidth_profile",
+    "check_bandwidth",
+    "analyze_document",
+    "analyze_set",
+]
+
+SCENARIO_RULES = RuleRegistry("scenario")
+
+
+@dataclass(slots=True)
+class ScenarioSet:
+    """A named collection of documents analyzed as one scenario.
+
+    ``closed=True`` asserts the set is the complete authored universe
+    (every link target must resolve inside it); open sets only warn on
+    unresolved targets. ``capacity_bps`` declares the access-link /
+    admission capacity the bandwidth-feasibility pass checks against
+    (``None`` skips the pass).
+    """
+
+    name: str
+    documents: dict[str, HmlDocument] = field(default_factory=dict)
+    closed: bool = False
+    capacity_bps: float | None = None
+
+    def resolves(self, link: HyperLink) -> bool:
+        """Does ``link`` point at a document of this set?
+
+        Both the full ``host:doc`` form and the bare document name
+        resolve (cross-host targets name the document on the remote
+        server; the set holds documents from every host it spans).
+        """
+        return (link.target in self.documents
+                or link.target_document in self.documents)
+
+
+@dataclass(slots=True)
+class ScenarioContext:
+    """What one rule invocation sees: a document inside its set."""
+
+    doc_name: str
+    document: HmlDocument
+    scenario_set: ScenarioSet
+    codecs: CodecRegistry
+    schedule: list[PlayoutEntry] = field(default_factory=list)
+
+    def span(self, detail: str = "") -> SourceSpan:
+        return SourceSpan(file=self.doc_name, snippet=detail)
+
+
+# ---------------------------------------------------------------- sync
+def _interval_repr(entry: PlayoutEntry) -> str:
+    end = "open" if entry.end_time is None else f"{entry.end_time:g}"
+    return f"[{entry.start_time:g}, {end})"
+
+
+@SCENARIO_RULES.rule(
+    "scenario-sync-interval",
+    "AU_VI sync-group members must share one coincident, positive "
+    "playout interval",
+)
+def _check_sync_intervals(ctx: ScenarioContext) -> Iterator[Diagnostic]:
+    groups: dict[str, list[PlayoutEntry]] = {}
+    for entry in ctx.schedule:
+        if entry.sync_group:
+            groups.setdefault(entry.sync_group, []).append(entry)
+    for group_name in sorted(groups):
+        members = groups[group_name]
+        anchor = members[0]
+        for entry in members:
+            if entry.duration is not None and entry.duration <= 0:
+                yield Diagnostic(
+                    "", Severity.ERROR,
+                    f"sync group {group_name!r}: member "
+                    f"{entry.stream_id!r} has a non-positive interval "
+                    f"{_interval_repr(entry)}",
+                    span=ctx.span(), subject=ctx.doc_name,
+                )
+        starts = {e.start_time for e in members}
+        ends = {e.end_time for e in members}
+        if len(starts) > 1 or len(ends) > 1:
+            detail = ", ".join(
+                f"{e.stream_id}={_interval_repr(e)}"
+                for e in sorted(members, key=lambda m: m.stream_id)
+            )
+            yield Diagnostic(
+                "", Severity.ERROR,
+                f"sync group {group_name!r}: member intervals diverge "
+                f"({detail}); synchronized media must start and stop "
+                "together",
+                span=ctx.span(), subject=ctx.doc_name,
+            )
+
+
+# ---------------------------------------------------------------- links
+def _scenario_end(schedule: list[PlayoutEntry]) -> float | None:
+    """Latest known media end; None when any entry is open-ended."""
+    ends: list[float] = []
+    for entry in schedule:
+        if entry.end_time is None:
+            return None
+        ends.append(entry.end_time)
+    return max(ends) if ends else 0.0
+
+
+@SCENARIO_RULES.rule(
+    "scenario-link-window",
+    "a timed HLINK must fire inside the document's active interval",
+)
+def _check_link_window(ctx: ScenarioContext) -> Iterator[Diagnostic]:
+    end = _scenario_end(ctx.schedule)
+    for link in ctx.document.hyperlinks():
+        if link.at_time is None:
+            continue
+        if link.at_time < 0:
+            yield Diagnostic(
+                "", Severity.ERROR,
+                f"timed link to {link.target!r} fires at "
+                f"{link.at_time:g}s, before the document starts",
+                span=ctx.span(), subject=ctx.doc_name,
+            )
+        elif end is not None and link.at_time > end:
+            yield Diagnostic(
+                "", Severity.ERROR,
+                f"timed link to {link.target!r} fires at "
+                f"{link.at_time:g}s, outside the document's active "
+                f"interval [0, {end:g}]: the presentation idles for "
+                f"{link.at_time - end:g}s with no media playing",
+                span=ctx.span(), subject=ctx.doc_name,
+            )
+        elif end is not None and link.at_time < end:
+            yield Diagnostic(
+                "", Severity.WARNING,
+                f"timed link to {link.target!r} fires at "
+                f"{link.at_time:g}s and cuts the presentation short "
+                f"(last media ends at {end:g}s)",
+                span=ctx.span(), subject=ctx.doc_name,
+            )
+
+
+@SCENARIO_RULES.rule(
+    "scenario-link-dangling",
+    "hyperlink targets must resolve inside the scenario set",
+)
+def _check_link_dangling(ctx: ScenarioContext) -> Iterator[Diagnostic]:
+    severity = (Severity.ERROR if ctx.scenario_set.closed
+                else Severity.WARNING)
+    qualifier = "closed" if ctx.scenario_set.closed else "open"
+    for link in ctx.document.hyperlinks():
+        if not link.target.strip():
+            continue  # validate_document already errors on empty targets
+        if not ctx.scenario_set.resolves(link):
+            yield Diagnostic(
+                "", severity,
+                f"link target {link.target!r} does not resolve in the "
+                f"{qualifier} scenario set {ctx.scenario_set.name!r} "
+                f"({len(ctx.scenario_set.documents)} document(s))",
+                span=ctx.span(), subject=ctx.doc_name,
+            )
+
+
+# ------------------------------------------------------------ bandwidth
+@dataclass(frozen=True, slots=True)
+class BandwidthVerdict:
+    """Result of the static bandwidth-feasibility pass.
+
+    ``steps`` is the worst-case concurrent-bandwidth step function as
+    ``(time_s, total_bps)`` breakpoints at codec best grades;
+    ``degraded_peak_bps`` re-evaluates the peak with every gradable
+    stream at its ladder's bottom rung (the admission floor).
+    """
+
+    peak_bps: float
+    peak_time_s: float
+    degraded_peak_bps: float
+    capacity_bps: float | None
+    steps: tuple[tuple[float, float], ...]
+
+    @property
+    def feasible(self) -> bool:
+        return (self.capacity_bps is None
+                or self.peak_bps <= self.capacity_bps)
+
+    @property
+    def feasible_degraded(self) -> bool:
+        return (self.capacity_bps is None
+                or self.degraded_peak_bps <= self.capacity_bps)
+
+
+def _stream_rates(entry: PlayoutEntry,
+                  codecs: CodecRegistry) -> tuple[float, float]:
+    """(best-grade, bottom-rung) send rates for one schedule entry."""
+    if not entry.media_type.is_continuous:
+        return 0.0, 0.0
+    codec = codecs.default_for(entry.media_type)
+    best = float(codec.best.bitrate_bps)
+    floor = float(codec.worst.bitrate_bps) if codec.gradable else best
+    return best, floor
+
+
+def bandwidth_profile(
+    schedule: list[PlayoutEntry],
+    codecs: CodecRegistry | None = None,
+    degraded: bool = False,
+) -> list[tuple[float, float]]:
+    """Concurrent-bandwidth step function over the playout schedule.
+
+    Mirrors :meth:`FlowScenario.peak_rate_bps`: continuous streams
+    charge their nominal codec rate over ``[start, start+duration)``;
+    open-ended streams are charged from start to the scenario horizon
+    (conservatively: they never release bandwidth).
+    """
+    registry = codecs if codecs is not None else default_registry()
+    deltas: list[tuple[float, float]] = []
+    for entry in schedule:
+        best, floor = _stream_rates(entry, registry)
+        rate = floor if degraded else best
+        if rate <= 0:
+            continue
+        deltas.append((entry.start_time, rate))
+        if entry.end_time is not None:
+            deltas.append((entry.end_time, -rate))
+    deltas.sort()
+    steps: list[tuple[float, float]] = []
+    current = 0.0
+    for t, delta in deltas:
+        current += delta
+        if steps and steps[-1][0] == t:
+            steps[-1] = (t, current)
+        else:
+            steps.append((t, current))
+    return steps
+
+
+def check_bandwidth(
+    schedule: list[PlayoutEntry],
+    capacity_bps: float | None,
+    codecs: CodecRegistry | None = None,
+) -> BandwidthVerdict:
+    """Evaluate static feasibility of a playout schedule."""
+    registry = codecs if codecs is not None else default_registry()
+    steps = bandwidth_profile(schedule, registry)
+    peak_t, peak = 0.0, 0.0
+    for t, rate in steps:
+        if rate > peak:
+            peak_t, peak = t, rate
+    degraded_steps = bandwidth_profile(schedule, registry, degraded=True)
+    degraded_peak = max((r for _, r in degraded_steps), default=0.0)
+    return BandwidthVerdict(
+        peak_bps=peak, peak_time_s=peak_t,
+        degraded_peak_bps=degraded_peak, capacity_bps=capacity_bps,
+        steps=tuple(steps),
+    )
+
+
+@SCENARIO_RULES.rule(
+    "scenario-bandwidth",
+    "worst-case concurrent bandwidth must fit the declared capacity",
+)
+def _check_bandwidth_rule(ctx: ScenarioContext) -> Iterator[Diagnostic]:
+    capacity = ctx.scenario_set.capacity_bps
+    if capacity is None:
+        return
+    verdict = check_bandwidth(ctx.schedule, capacity, ctx.codecs)
+    if verdict.feasible:
+        return
+    where = (f"peak {verdict.peak_bps / 1e6:.2f} Mb/s at "
+             f"t={verdict.peak_time_s:g}s exceeds the declared "
+             f"capacity {capacity / 1e6:.2f} Mb/s")
+    if verdict.feasible_degraded:
+        yield Diagnostic(
+            "", Severity.WARNING,
+            f"{where}; feasible only with quality degradation "
+            f"(bottom-rung peak {verdict.degraded_peak_bps / 1e6:.2f} "
+            "Mb/s) — admission would negotiate the session down",
+            span=ctx.span(), subject=ctx.doc_name,
+        )
+    else:
+        yield Diagnostic(
+            "", Severity.ERROR,
+            f"{where}; infeasible even with every stream degraded to "
+            f"its bottom rung ({verdict.degraded_peak_bps / 1e6:.2f} "
+            "Mb/s) — admission would reject this scenario",
+            span=ctx.span(), subject=ctx.doc_name,
+        )
+
+
+# ---------------------------------------------------------------- entry
+def analyze_document(
+    doc_name: str,
+    document: HmlDocument,
+    scenario_set: ScenarioSet | None = None,
+    codecs: CodecRegistry | None = None,
+) -> list[Diagnostic]:
+    """Run every scenario rule over one document.
+
+    ``scenario_set=None`` analyzes the document as a singleton open
+    set (link resolution warns rather than errors).
+    """
+    sset = scenario_set if scenario_set is not None else ScenarioSet(
+        name=doc_name, documents={doc_name: document})
+    ctx = ScenarioContext(
+        doc_name=doc_name, document=document, scenario_set=sset,
+        codecs=codecs if codecs is not None else default_registry(),
+        schedule=build_playout_schedule(document),
+    )
+    return SCENARIO_RULES.run(ctx)
+
+
+def analyze_set(scenario_set: ScenarioSet,
+                codecs: CodecRegistry | None = None) -> list[Diagnostic]:
+    """Run every scenario rule over every document of a set."""
+    registry = codecs if codecs is not None else default_registry()
+    out: list[Diagnostic] = []
+    for doc_name in sorted(scenario_set.documents):
+        out.extend(analyze_document(
+            doc_name, scenario_set.documents[doc_name],
+            scenario_set=scenario_set, codecs=registry,
+        ))
+    return out

@@ -59,6 +59,10 @@ class ClientQoSManager:
         self.session = ""
         self._receivers: dict[str, RtpReceiver] = {}
         self._reporters: dict[str, RtcpReporter] = {}
+        #: report source ports drawn from the node's own allocator —
+        #: returned in :meth:`stop` (pairing the allocate below)
+        self._owned_ports: list[int] = []
+        self._stopped = False
 
     def register_stream(
         self,
@@ -78,6 +82,7 @@ class ClientQoSManager:
             raise ValueError(f"stream {stream_id!r} already registered")
         if rtcp_port is None:
             rtcp_port = self.network.node(self.node_id).ports.allocate("media")
+            self._owned_ports.append(rtcp_port)
         self._receivers[stream_id] = receiver
         sim = self.network.sim
         if sim._tracing:
@@ -97,8 +102,29 @@ class ClientQoSManager:
         return reporter
 
     def stop(self) -> None:
-        for reporter in self._reporters.values():
+        """Stop the feedback loop and return owned report ports.
+
+        Idempotent: the orchestrator stops the loop at presentation
+        end and the composition's ``close()`` calls it again during
+        session teardown. Reports flow client → server only, so
+        unbinding the source sockets here cannot strand in-flight
+        traffic.
+        """
+        if self._stopped:
+            return
+        self._stopped = True
+        owned = set(self._owned_ports)
+        for stream_id in sorted(self._reporters):
+            reporter = self._reporters[stream_id]
             reporter.stop()
+            # Only tear down sockets on ports this manager allocated;
+            # externally-chosen report ports stay the caller's.
+            if reporter.socket.port in owned:
+                reporter.socket.close()
+        ports = self.network.node(self.node_id).ports
+        for port in self._owned_ports:
+            ports.release(port)
+        self._owned_ports.clear()
 
     # -- queries -----------------------------------------------------------
     def streams(self) -> list[str]:

@@ -3,7 +3,7 @@
 Topology (the simulated "broadband network" of the paper):
 
     client ── access link ──┐
-    client2 ── access link ──┼─ router ── backbone links ── server hosts
+    client2 ── access link ──┼─ router ── backbone ── server hosts
         ...                  │      └───── cross-traffic sources
 
 Each multimedia server host carries the multimedia server and its
@@ -430,6 +430,7 @@ class ClientComposition:
         self.rtp_ports: dict[str, int] = {}
         self.discrete_ports: dict[str, int] = {}
         self._discrete_rx: list[ReliableReceiver] = []
+        self._closed = False
 
         bindings: dict[str, StreamBinding] = {}
         for spec in self.scenario.continuous_streams():
@@ -494,6 +495,29 @@ class ClientComposition:
     def start(self):
         """Begin presentation; returns the all-finished event."""
         return self.scheduler.start()
+
+    def close(self) -> None:
+        """Tear down this composition's network footprint.
+
+        Unbinds every receiver and returns the media ports to the
+        client node's allocator — pairing the allocations in
+        ``__init__`` so a long-lived viewer host reuses its ports
+        across presentations instead of leaking them. Idempotent;
+        result collection still works afterwards (statistics live on
+        the composition, not the bindings).
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self.qos.stop()
+        node = self.network.node(self.client_node)
+        for sid in sorted(self.receivers):
+            self.receivers[sid].close()
+            node.ports.release(self.rtp_ports[sid])
+        for rx in self._discrete_rx:
+            rx.close()
+        for sid in sorted(self.discrete_ports):
+            node.ports.release(self.discrete_ports[sid])
 
     # -- results -------------------------------------------------------------
     def collect_result(self, document: str, charge: float = 0.0,

@@ -238,6 +238,7 @@ class SessionOrchestrator:
                 if sid in comp.receivers
             }
         charge = yield from client.disconnect()
+        comp.close()  # return the client's media ports to its node
         result_box["comp"] = comp
         result_box["charge"] = charge
         if tracing:
@@ -574,7 +575,7 @@ class SessionOrchestrator:
                         yield from client.stop_streams()
                 else:
                     yield done
-                comp.qos.stop()
+                comp.close()
                 visits.append({
                     "document": current,
                     "interrupted": interrupted,

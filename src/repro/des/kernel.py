@@ -421,7 +421,8 @@ class Simulator:
                 return until.value
             deadline = float("inf") if until is None else float(until)
             if deadline < self._now:
-                raise ValueError(f"deadline {deadline} is in the past (now={self._now})")
+                raise ValueError(
+                    f"deadline {deadline} is in the past (now={self._now})")
             while self._heap and self._heap[0][0] <= deadline:
                 self.step()
             if until is not None:

@@ -64,14 +64,16 @@ def _as_float(value: str, attr: str, line: int) -> float:
     try:
         return float(value)
     except ValueError:
-        raise HmlSyntaxError(f"{attr} expects a number, got {value!r}", line, 0) from None
+        raise HmlSyntaxError(f"{attr} expects a number, got {value!r}",
+                             line, 0) from None
 
 
 def _as_int(value: str, attr: str, line: int) -> int:
     try:
         return int(value)
     except ValueError:
-        raise HmlSyntaxError(f"{attr} expects an integer, got {value!r}", line, 0) from None
+        raise HmlSyntaxError(f"{attr} expects an integer, got {value!r}",
+                             line, 0) from None
 
 
 def _as_coords(value: str, line: int) -> tuple[int, int]:

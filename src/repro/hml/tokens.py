@@ -78,7 +78,8 @@ KEYWORDS: dict[str, KeywordInfo] = {
         KeywordInfo(
             "AT", "Timed-activation indicator for hyperlinks", "link", False, True,
         ),
-        KeywordInfo("HEIGHT", "Image height placement attribute", "layout", False, True),
+        KeywordInfo("HEIGHT", "Image height placement attribute", "layout",
+                    False, True),
         KeywordInfo("WIDTH", "Image width placement attribute", "layout", False, True),
         KeywordInfo(
             "WHERE", "Media placement (display coordinates) attribute",

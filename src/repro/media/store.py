@@ -34,7 +34,9 @@ class MediaStore:
         if obj.object_id in self._objects:
             raise ValueError(f"object {obj.object_id!r} already stored")
         if obj.media_type.is_continuous and obj.encoding not in self.codecs:
-            raise KeyError(f"object {obj.object_id!r} uses unknown codec {obj.encoding!r}")
+            raise KeyError(
+                f"object {obj.object_id!r} uses unknown codec"
+                f" {obj.encoding!r}")
         self._objects[obj.object_id] = obj
 
     def get(self, object_id: str) -> MediaObject:

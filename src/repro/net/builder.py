@@ -5,7 +5,7 @@ its own access link, sharing a router and backbone with the server
 hosts and cross-traffic sources:
 
     client1 ── access link ──┐
-    client2 ── access link ──┼── router ── backbone ── server hosts
+    client2 ── access link ──┼─ router ── backbone ── server hosts
         ...                  │      └───── cross-traffic sources
     clientN ── access link ──┘
 

@@ -1,0 +1,10 @@
+"""Fixture: draws from global RNGs instead of named des.rng streams."""
+
+import random
+
+import numpy as np
+
+
+def jitter() -> float:
+    np.random.seed(7)
+    return random.random() + np.random.uniform(0.0, 1.0)

@@ -1,0 +1,5 @@
+"""Fixture: allocates media ports that are never released."""
+
+
+def bind_media(node) -> int:
+    return node.ports.allocate("media")

@@ -1,0 +1,9 @@
+"""Fixture: tracer call without the enabled-guard boolean."""
+
+
+class Stage:
+    def __init__(self, sim) -> None:
+        self.sim = sim
+
+    def fire(self) -> None:
+        self.sim._tracer.emit(self.sim.now, "stage.fire", "x")

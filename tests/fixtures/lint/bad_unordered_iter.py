@@ -1,0 +1,8 @@
+"""Fixture: iterates unordered sets feeding scheduling decisions."""
+
+
+def schedule(streams) -> list:
+    order = []
+    for sid in {s.stream_id for s in streams}:
+        order.append(sid)
+    return order + list({"a", "b", "c"})

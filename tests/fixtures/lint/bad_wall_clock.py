@@ -1,0 +1,9 @@
+"""Fixture: reads the wall clock instead of the DES kernel clock."""
+
+import time
+from datetime import datetime
+
+
+def stamp_event(log: list) -> None:
+    log.append(time.time())
+    log.append(datetime.now())

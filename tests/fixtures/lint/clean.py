@@ -1,0 +1,20 @@
+"""Fixture: determinism-discipline-clean simulation code."""
+
+
+class Stage:
+    def __init__(self, sim, rng) -> None:
+        self.sim = sim
+        self.rng = rng
+
+    def fire(self, streams: dict) -> list:
+        if self.sim._tracing:
+            self.sim._tracer.emit(self.sim.now, "stage.fire", "x")
+        order = [sid for sid in sorted(streams)]
+        delay = float(self.rng.stream("stage").uniform(0.0, 1.0))
+        return [(sid, self.sim.now + delay) for sid in order]
+
+
+def bind_media(node) -> int:
+    port = node.ports.allocate("media")
+    node.ports.release(port)
+    return port

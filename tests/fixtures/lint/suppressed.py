@@ -1,0 +1,7 @@
+"""Fixture: a deliberate wall-clock read carrying a line pragma."""
+
+import time
+
+
+def wall_elapsed(t0: float) -> float:
+    return time.perf_counter() - t0  # lint: allow(det-wall-clock)

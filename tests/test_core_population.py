@@ -42,19 +42,23 @@ def test_population_runs_on_distinct_access_links():
 
 
 def test_population_port_isolation():
-    """No shared port namespace: every client binds the *same* media
-    ports independently, which a shared namespace would forbid."""
+    """No shared port namespace: every client draws media ports from
+    its own node allocator, which session teardown fully returns."""
     eng = engine()
     pop = eng.run_population(4, "srv1", "doc", stagger_s=0.1)
     assert all(o.completed for o in pop)
-    media_ports = []
+    probe_ports = []
     for o in pop:
         node = eng.network.node(o.client_node)
-        media_ports.append(tuple(p for p in node.bound_ports()
-                                 if p >= 40_000))
-        assert node.ports.allocated("media") > 0
-    assert len(set(media_ports)) == 1, "clients should reuse identical ports"
-    assert media_ports[0], "media ports should be bound"
+        # Teardown released every media port the session allocated.
+        assert node.ports.allocated("media") == 0
+        assert not [p for p in node.bound_ports() if p >= 40_000]
+        # Drained deterministic allocators all sit at the same base
+        # port — a shared namespace would hand each probe a new one.
+        probe_ports.append(node.ports.allocate("media"))
+    assert len(set(probe_ports)) == 1, "clients should reuse identical ports"
+    for o, port in zip(pop, probe_ports):
+        eng.network.node(o.client_node).ports.release(port)
 
 
 def test_population_admission_rejections_under_oversubscription():
