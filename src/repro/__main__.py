@@ -223,11 +223,23 @@ def _bench(args: list[str], report: Reporter) -> int:
         elif a == "--scenario":
             i += 1
             names.append(args[i])
+        elif a == "--topology":
+            i += 1
+            topology = args[i]
+            matching = [s.name for s in SCENARIOS.values()
+                        if s.topology == topology]
+            if not matching:
+                known = sorted({s.topology for s in SCENARIOS.values()})
+                report.text(f"no scenarios with topology {topology!r}; "
+                            f"known: {', '.join(known)}")
+                return 2
+            names.extend(matching)
         elif a in ("-h", "--help"):
             report.text(
                 "usage: python -m repro bench [--smoke] [--out DIR] "
                 "[--baseline DIR] [--threshold F] [--perf-threshold F] "
-                "[--scenario NAME ...] [--update-baseline]")
+                "[--scenario NAME ...] [--topology star|cdn] "
+                "[--update-baseline]")
             report.text(f"scenarios: {', '.join(sorted(SCENARIOS))}")
             return 0
         else:

@@ -61,6 +61,14 @@ def builtin_scenario_sets() -> dict[str, ScenarioSet]:
         closed=True,
         capacity_bps=DEFAULT_CAPACITY_BPS,
     )
+    # The CDN bench's hot document: one continuous A/V pair fanned out
+    # to every region by shared-flow batching (no image sidecars).
+    sets["cdn-hot"] = ScenarioSet(
+        name="cdn-hot",
+        documents={"cdn-hot": parse(av_markup(6.0, False))},
+        closed=True,
+        capacity_bps=DEFAULT_CAPACITY_BPS,
+    )
     lessons = make_course("routing", "networking", n_lessons=3,
                           segment_s=5.0, tutor="dr-net")
     sets["hermes-routing"] = ScenarioSet(

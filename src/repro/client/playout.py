@@ -181,6 +181,15 @@ class PlayoutProcess:
                     action = BufferAction.NONE
                     dropped = 0
                     for _ in range(decision.drop_count):
+                        # Never shed the last buffered frame: playing
+                        # it snaps the position to its timestamp, which
+                        # realigns faster than a drop credit of one
+                        # interval. When delivery is arrival-limited
+                        # (one frame per tick, e.g. a failover resume),
+                        # shedding the head would eat every fresh frame
+                        # while the slave gains nothing on the master.
+                        if len(self.buffer) <= 1:
+                            break
                         shed = self.buffer.drop_head()
                         if shed is None:
                             break

@@ -69,6 +69,13 @@ class EngineConfig:
     # service
     suspend_grace_s: float = 30.0
     admission_capacity_bps: float = 50e6
+    #: merge concurrent requests for the same hot object into one
+    #: shared egress flow, fanned out at the viewers' POP
+    shared_flows: bool = False
+    #: how long the first request of a batch waits for joiners; must
+    #: stay well under ``flow_lead_s`` so the wait is absorbed by the
+    #: client's prefill buffer
+    shared_flow_window_s: float = 0.25
     # synthetic content defaults
     image_bytes: int = 40_000
     text_bytes: int = 4_000
@@ -80,6 +87,8 @@ class EngineConfig:
             raise ValueError("link rates must be positive")
         if self.rtcp_interval_s <= 0:
             raise ValueError("rtcp_interval_s must be positive")
+        if self.shared_flow_window_s < 0:
+            raise ValueError("shared_flow_window_s must be >= 0")
 
     def access_link_spec(self, loss_model=None, *,
                          rate_bps: float | None = None,
@@ -89,14 +98,21 @@ class EngineConfig:
         """One client's access-link parameters, with optional overrides.
 
         Population runs stamp out many clients from this template; a
-        heterogeneous population passes per-client overrides.
+        heterogeneous population passes per-client overrides. Built by
+        deriving from the config's base spec, so each parameter is
+        specified in exactly one place.
         """
-        return AccessLinkSpec(
-            rate_bps=rate_bps if rate_bps is not None
-            else self.access_rate_bps,
-            delay_s=delay_s if delay_s is not None else self.access_delay_s,
-            queue_packets=queue_packets if queue_packets is not None
-            else self.access_queue_packets,
+        base = AccessLinkSpec(
+            rate_bps=self.access_rate_bps,
+            delay_s=self.access_delay_s,
+            queue_packets=self.access_queue_packets,
             atm=self.atm_access,
-            loss_model=loss_model,
         )
+        overrides: dict[str, object] = {"loss_model": loss_model}
+        if rate_bps is not None:
+            overrides["rate_bps"] = rate_bps
+        if delay_s is not None:
+            overrides["delay_s"] = delay_s
+        if queue_packets is not None:
+            overrides["queue_packets"] = queue_packets
+        return base.derive(**overrides)

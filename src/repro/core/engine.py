@@ -10,19 +10,20 @@ Each multimedia server host carries the multimedia server and its
 media servers (the paper allows them to share a host); cross traffic
 loads the router→client access links, the paths all media share.
 
-The engine owns *construction*: the :class:`~repro.net.builder.
-TopologyBuilder` stamps out client hosts (one by default, N for
-population runs), servers and documents. Session *orchestration* —
-scripted runs, concurrent viewers, autoplay, multi-client populations
-— lives in :class:`~repro.core.orchestrator.SessionOrchestrator`; the
-``run_*`` methods here are thin deprecated shims kept for
-compatibility.
+The engine owns *construction*: a topology — the classic star via the
+:class:`~repro.net.builder.TopologyBuilder` facade, or any declarative
+layer stack from :mod:`repro.net.layers` passed as ``layers=`` —
+plus servers, documents, per-POP media replicas and (optionally) the
+shared-flow delivery machinery. Session *orchestration* — scripted
+runs, concurrent viewers, autoplay, multi-client populations — lives
+in :class:`~repro.core.orchestrator.SessionOrchestrator`
+(``engine.orchestrator``); only the ``run_population`` shorthand
+remains here.
 """
 
 from __future__ import annotations
 
 import itertools
-import warnings
 from typing import Any
 
 from repro.client.presentation import PresentationScheduler, StreamBinding
@@ -65,7 +66,7 @@ class ServiceEngine:
     ROUTER = "router"
 
     def __init__(self, config: EngineConfig | None = None,
-                 tracer=None) -> None:
+                 tracer=None, layers=None) -> None:
         self.config = config if config is not None else EngineConfig()
         self.sim = Simulator()
         if tracer is not None:
@@ -75,6 +76,8 @@ class ServiceEngine:
         self.network = Network(self.sim)
         self.accounts = AccountRegistry()
         self.servers: dict[str, MultimediaServer] = {}
+        #: declarative topology stack (None = the classic star)
+        self._layers = layers
         #: per-engine session ids — two engines in one process both
         #: start at sess-1, so runs replay identically.
         self._session_ids = itertools.count(1)
@@ -89,15 +92,33 @@ class ServiceEngine:
     # -- topology -----------------------------------------------------------
     def _build_backbone(self) -> None:
         cfg = self.config
-        self.topology = TopologyBuilder(
-            self.network, router=self.ROUTER,
-            backbone_rate_bps=cfg.backbone_rate_bps,
-            backbone_delay_s=cfg.backbone_delay_s,
-            backbone_queue_packets=cfg.backbone_queue_packets,
-        )
-        self.topology.add_client(
-            self.CLIENT, cfg.access_link_spec(self._access_loss("access-loss"))
-        )
+        if self._layers is None:
+            # The classic star: the legacy builder is a thin
+            # single-region stack, so this path compiles to the exact
+            # pre-layer topology (byte-identical digests).
+            self.topology = TopologyBuilder(
+                self.network, router=self.ROUTER,
+                backbone_rate_bps=cfg.backbone_rate_bps,
+                backbone_delay_s=cfg.backbone_delay_s,
+                backbone_queue_packets=cfg.backbone_queue_packets,
+            )
+        else:
+            from repro.net.layers import TopologyCompiler
+
+            self.topology = TopologyCompiler(self._layers).compile(
+                self.network,
+                access_spec_for=lambda node_id: cfg.access_link_spec(
+                    self._access_loss(f"access-loss:{node_id}")
+                ),
+            )
+            # Population-layer viewers join the engine's client pool so
+            # orchestrated population runs reuse them in place.
+            self._population.extend(self.topology.clients)
+        if not self.topology.clients:
+            self.topology.add_client(
+                self.CLIENT,
+                cfg.access_link_spec(self._access_loss("access-loss")),
+            )
         for tc in cfg.traffic:
             self._add_traffic(tc)
 
@@ -180,8 +201,12 @@ class ServiceEngine:
         """
         if name in self.servers:
             raise ValueError(f"server {name!r} already exists")
+        placement = self.topology.placement
         node_id = f"host:{name}"
-        self.topology.add_server_host(node_id)
+        self.topology.add_server_host(
+            node_id,
+            region=placement.origin_region if placement is not None else None,
+        )
         database = MultimediaDatabase()
         media_servers: dict[str, MediaServer] = {}
         server = MultimediaServer(
@@ -191,6 +216,15 @@ class ServiceEngine:
             grading_policy=self.config.grading_policy,
             description=description,
         )
+        server.region_resolver = self.topology.region_of
+        if self.config.shared_flows:
+            from repro.server.shared_flow import SharedFlowManager
+
+            server.shared_flows = SharedFlowManager(
+                self.sim, self.network,
+                fanout_node_for=self._fanout_node_for,
+                batch_window_s=self.config.shared_flow_window_s,
+            )
         self.servers[name] = server
         for peer in self.servers.values():
             if peer is not server:
@@ -199,7 +233,40 @@ class ServiceEngine:
         if documents:
             for doc_name, (markup, topic) in documents.items():
                 self.add_document(name, doc_name, markup, topic)
+        if placement is not None:
+            self.apply_media_placement(name)
         return server
+
+    def _fanout_node_for(self, client_node: str) -> str:
+        """Where a shared flow fans out toward ``client_node``.
+
+        The client's regional POP when it has one, else the core
+        router — the last shared hop before the per-client access
+        links.
+        """
+        return self.topology.pop_router(self.topology.region_of(client_node))
+
+    def apply_media_placement(self, server_name: str) -> list[MediaServer]:
+        """Provision the replicas the media-placement layer declared.
+
+        One replica per (media server × replica region), named
+        ``{media}@{region}``, hosted behind the region's POP. Runs
+        automatically at the end of :meth:`add_server` when the
+        compiled topology carries a placement; call it again after
+        adding documents that introduce *new* media servers.
+        """
+        server = self.servers[server_name]
+        created: list[MediaServer] = []
+        for media_name in sorted(server.media_servers):
+            have = {r.region for r in server.replicas.get(media_name, [])}
+            for region in self.topology.replica_regions():
+                if region in have:
+                    continue
+                created.append(self.add_media_replica(
+                    server_name, media_name,
+                    replica_name=f"{media_name}@{region}", region=region,
+                ))
+        return created
 
     def add_document(self, server_name: str, doc_name: str, markup: str,
                      topic: str = "general") -> None:
@@ -296,12 +363,14 @@ class ServiceEngine:
         return self._watchdogs
 
     def add_media_replica(self, server_name: str, primary_media: str,
-                          replica_name: str | None = None) -> MediaServer:
+                          replica_name: str | None = None,
+                          region: str | None = None) -> MediaServer:
         """Provision a standby media server mirroring ``primary_media``.
 
         The replica shares the primary's store (same catalog, same
         seeded trace streams) but lives on its own host behind the
-        router, so failover also moves the network path.
+        router — or behind ``region``'s POP, making it that region's
+        serving edge — so failover also moves the network path.
         """
         server = self.servers[server_name]
         primary = server.media_server(primary_media)
@@ -310,9 +379,9 @@ class ServiceEngine:
             replica_name = f"{primary_media}-r{n}"
         node_id = f"host:{replica_name}"
         if node_id not in self.network.nodes:
-            self.topology.add_server_host(node_id)
+            self.topology.add_server_host(node_id, region=region)
         replica = MediaServer(self.sim, self.network, replica_name, node_id,
-                              primary.store)
+                              primary.store, region=region)
         server.add_replica(primary_media, replica)
         watchdog = self._watchdogs.get(server_name)
         if watchdog is not None:
@@ -370,33 +439,6 @@ class ServiceEngine:
     def tracer(self):
         """The tracer bound to this engine's simulator (``None`` off)."""
         return self.sim.tracer
-
-    def run_full_session(self, *args, **kwargs) -> SessionResult:
-        """Deprecated: use ``engine.orchestrator.run_full_session``."""
-        warnings.warn(
-            "ServiceEngine.run_full_session is deprecated; use "
-            "engine.orchestrator.run_full_session",
-            DeprecationWarning, stacklevel=2,
-        )
-        return self.orchestrator.run_full_session(*args, **kwargs)
-
-    def run_concurrent_sessions(self, *args, **kwargs) -> list[SessionResult]:
-        """Deprecated: use ``engine.orchestrator.run_concurrent_sessions``."""
-        warnings.warn(
-            "ServiceEngine.run_concurrent_sessions is deprecated; use "
-            "engine.orchestrator.run_concurrent_sessions",
-            DeprecationWarning, stacklevel=2,
-        )
-        return self.orchestrator.run_concurrent_sessions(*args, **kwargs)
-
-    def run_autoplay_sequence(self, *args, **kwargs) -> list[dict[str, Any]]:
-        """Deprecated: use ``engine.orchestrator.run_autoplay_sequence``."""
-        warnings.warn(
-            "ServiceEngine.run_autoplay_sequence is deprecated; use "
-            "engine.orchestrator.run_autoplay_sequence",
-            DeprecationWarning, stacklevel=2,
-        )
-        return self.orchestrator.run_autoplay_sequence(*args, **kwargs)
 
     def run_population(self, *args, **kwargs):
         """Shorthand for ``engine.orchestrator.run_population``."""

@@ -50,7 +50,7 @@ class FaultInjector:
                     self._schedule_outage(f.src, f.dst,
                                           f.at + i * f.period_s, f.down_s)
             elif f.kind == "server-crash":
-                ms = self.engine.servers[f.server].media_server(f.media_server)
+                ms = self._resolve_media_server(f.server, f.media_server)
                 sim.call_later(f.at, ms.crash)
                 if f.restart_after_s is not None:
                     sim.call_later(f.at + f.restart_after_s, ms.restart)
@@ -71,6 +71,15 @@ class FaultInjector:
                                lambda s=state: s.clear_impair())
             else:  # pragma: no cover - plan validation catches this
                 raise ValueError(f"unknown fault kind {f.kind!r}")
+
+    def _resolve_media_server(self, server: str, media_server: str):
+        """A crash target may be a primary or an edge replica
+        (``media@region``) — anywhere the service can serve from."""
+        srv = self.engine.servers[server]
+        for ms in srv.all_media_servers():
+            if ms.name == media_server:
+                return ms
+        return srv.media_server(media_server)  # raises the usual KeyError
 
     def _check_link(self, src: str, dst: str) -> None:
         links = self.engine.network.links

@@ -110,7 +110,11 @@ class MediaWatchdog:
                     [s.origin.stream_id for s in snaps], ms.name
                 )
             for snap in snaps:
-                target = self.server.healthy_media_server(primary)
+                # Replica-aware: prefer the client's regional edge,
+                # falling back to the origin when that edge is down.
+                target = self.server.healthy_media_server(
+                    primary, client_node=snap.origin.client_node
+                )
                 if target is None:
                     # Nowhere to go yet — keep the snapshot so a later
                     # restart of this server can adopt it.

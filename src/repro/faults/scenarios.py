@@ -75,6 +75,9 @@ class ChaosScenario:
     #: smoke mode scales the scenario down for CI gate runs
     smoke_clients: int = 4
     smoke_duration_s: float = 4.0
+    #: "star" = classic single-router shape; "cdn" = two regions with
+    #: POPs and per-region media replicas from the placement layer
+    topology: str = "star"
 
 
 CHAOS_SCENARIOS: dict[str, ChaosScenario] = {
@@ -104,6 +107,13 @@ CHAOS_SCENARIOS: dict[str, ChaosScenario] = {
             name="combo",
             description="impaired control, link flaps and a crash at once",
             heartbeat={"interval_s": 0.5, "timeout_s": 0.4, "miss_limit": 2},
+        ),
+        ChaosScenario(
+            name="replica-crash",
+            description="a regional edge replica crashes; its viewers "
+                        "fail over to the origin",
+            topology="cdn",
+            replica=False,  # replicas come from the placement layer
         ),
     )
 }
@@ -142,6 +152,11 @@ def build_plan(name: str, *, n_clients: int, stagger_s: float,
             LinkFlapFault(src=server_link[0], dst=server_link[1],
                           at=1.0, period_s=1.5, down_s=0.25, count=2),
             ServerCrashFault(server="srv1", media_server="media",
+                             at=crash_at),
+        ))
+    if name == "replica-crash":
+        return FaultPlan((
+            ServerCrashFault(server="srv1", media_server="media@east",
                              at=crash_at),
         ))
     raise KeyError(
@@ -195,7 +210,13 @@ def run_chaos(
     use_retry = scenario.retry if retry is None else retry
 
     tracer = RecordingTracer() if trace else None
-    eng = ServiceEngine(EngineConfig(seed=seed), tracer=tracer)
+    layers = None
+    if scenario.topology == "cdn":
+        from repro.net import cdn_stack
+
+        layers = cdn_stack(clients_per_region=max(1, n // 2))
+    eng = ServiceEngine(EngineConfig(seed=seed), tracer=tracer,
+                        layers=layers)
     eng.add_server(
         "srv1",
         documents={"doc": (chaos_markup(duration), "chaos")},

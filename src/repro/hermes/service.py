@@ -23,8 +23,9 @@ __all__ = ["HermesService"]
 class HermesService:
     """A deployed Hermes installation."""
 
-    def __init__(self, config: EngineConfig | None = None) -> None:
-        self.engine = ServiceEngine(config)
+    def __init__(self, config: EngineConfig | None = None,
+                 layers=None) -> None:
+        self.engine = ServiceEngine(config, layers=layers)
         self.catalog = HermesCatalog()
         self.web = DocumentWeb()
         self.lessons: dict[str, Lesson] = {}

@@ -15,26 +15,50 @@ from repro.net.link import Link, LinkStats
 from repro.net.ports import PortAllocator, PortExhaustedError
 from repro.net.topology import Network, Node
 from repro.net.builder import AccessLinkSpec, TopologyBuilder
+from repro.net.layers import (
+    CompiledTopology,
+    CoreNetworkLayer,
+    MediaPlacement,
+    MediaPlacementLayer,
+    PopulationLayer,
+    PopulationSpec,
+    RegionLayer,
+    RegionSpec,
+    TopologyCompiler,
+    TopologyLayer,
+    cdn_stack,
+)
 from repro.net.impairments import GilbertElliottLoss
 from repro.net.channel import DatagramSocket, ReliableSender, ReliableReceiver
 from repro.net.traffic import OnOffTrafficSource, PoissonTrafficSource
 
 __all__ = [
     "AccessLinkSpec",
+    "CompiledTopology",
+    "CoreNetworkLayer",
     "DatagramSocket",
     "GilbertElliottLoss",
     "Link",
     "LinkStats",
+    "MediaPlacement",
+    "MediaPlacementLayer",
     "Network",
     "Node",
     "OnOffTrafficSource",
     "Packet",
     "PacketTap",
     "PoissonTrafficSource",
+    "PopulationLayer",
+    "PopulationSpec",
     "PortAllocator",
     "PortExhaustedError",
+    "RegionLayer",
+    "RegionSpec",
     "ReliableReceiver",
     "ReliableSender",
     "TapRecord",
     "TopologyBuilder",
+    "TopologyCompiler",
+    "TopologyLayer",
+    "cdn_stack",
 ]

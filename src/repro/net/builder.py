@@ -9,45 +9,39 @@ hosts and cross-traffic sources:
         ...                  │      └───── cross-traffic sources
     clientN ── access link ──┘
 
-:class:`TopologyBuilder` stamps these pieces out on a
-:class:`~repro.net.topology.Network`. It carries no engine knowledge:
-access-link parameters arrive as :class:`AccessLinkSpec` values (the
-engine derives them from its config), and loss models arrive already
-constructed so the builder stays free of RNG plumbing.
+Topology construction proper lives in :mod:`repro.net.layers` as a
+declarative layer stack; :class:`TopologyBuilder` is the legacy
+single-region facade — one :class:`~repro.net.layers.CoreNetworkLayer`
+compiled by the :class:`~repro.net.layers.TopologyCompiler` — kept so
+every pre-layer scenario compiles to a byte-identical topology. It
+carries no engine knowledge: access-link parameters arrive as
+:class:`AccessLinkSpec` values (the engine derives them from its
+config), and loss models arrive already constructed so the builder
+stays free of RNG plumbing.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
-from repro.net.topology import Network, Node
+from repro.net.layers import (
+    AccessLinkSpec,
+    CompiledTopology,
+    CoreNetworkLayer,
+    TopologyCompiler,
+)
+from repro.net.topology import Network
 
 __all__ = ["AccessLinkSpec", "TopologyBuilder"]
 
 
-@dataclass(frozen=True, slots=True)
-class AccessLinkSpec:
-    """Parameters of one client's access link (both directions).
+class TopologyBuilder(CompiledTopology):
+    """The classic star, as a thin single-region layer stack.
 
-    ``loss_model`` (e.g. Gilbert–Elliott) applies to the downstream
-    router→client direction — the shared path all media arrive on.
+    Compiling one core layer reproduces exactly the node/link call
+    sequence the imperative builder used to make, so existing seeds
+    and population digests are unchanged; all growth methods
+    (``add_client``/``add_server_host``/``add_traffic_host``) are the
+    inherited :class:`~repro.net.layers.CompiledTopology` surface.
     """
-
-    rate_bps: float = 10e6
-    delay_s: float = 0.010
-    queue_packets: int = 60
-    atm: bool = False
-    loss_model: object | None = None
-
-    def __post_init__(self) -> None:
-        if self.rate_bps <= 0:
-            raise ValueError("access rate must be positive")
-        if self.queue_packets < 1:
-            raise ValueError("access queue must hold at least one packet")
-
-
-class TopologyBuilder:
-    """Builds the client/router/server star on a network."""
 
     def __init__(
         self,
@@ -58,57 +52,12 @@ class TopologyBuilder:
         backbone_delay_s: float = 0.005,
         backbone_queue_packets: int = 500,
     ) -> None:
-        self.network = network
-        self.router = router
-        self.backbone_rate_bps = backbone_rate_bps
-        self.backbone_delay_s = backbone_delay_s
-        self.backbone_queue_packets = backbone_queue_packets
-        self.clients: list[str] = []
-        self.server_hosts: list[str] = []
-        self.traffic_hosts: list[str] = []
-        if router not in network.nodes:
-            network.add_node(router)
-
-    # -- clients -----------------------------------------------------------
-    def add_client(self, node_id: str,
-                   spec: AccessLinkSpec | None = None) -> Node:
-        """Add a client host with its own access link to the router.
-
-        Downstream (router → client) carries the loss model: it is the
-        bottleneck all of this viewer's media share.
-        """
-        spec = spec if spec is not None else AccessLinkSpec()
-        node = self.network.add_node(node_id)
-        self.network.add_link(
-            self.router, node_id, spec.rate_bps, spec.delay_s,
-            queue_packets=spec.queue_packets, loss_model=spec.loss_model,
-            atm=spec.atm,
-        )
-        self.network.add_link(
-            node_id, self.router, spec.rate_bps, spec.delay_s,
-            queue_packets=spec.queue_packets, atm=spec.atm,
-        )
-        self.clients.append(node_id)
-        return node
-
-    # -- backbone hosts ----------------------------------------------------
-    def _add_backbone_host(self, node_id: str, delay_s: float) -> Node:
-        node = self.network.add_node(node_id)
-        self.network.add_duplex_link(
-            node_id, self.router, self.backbone_rate_bps, delay_s,
-            queue_packets=self.backbone_queue_packets,
-        )
-        return node
-
-    def add_server_host(self, node_id: str) -> Node:
-        """Add a multimedia/media server host behind the router."""
-        node = self._add_backbone_host(node_id, self.backbone_delay_s)
-        self.server_hosts.append(node_id)
-        return node
-
-    def add_traffic_host(self, node_id: str,
-                         delay_s: float = 0.001) -> Node:
-        """Add a cross-traffic source host behind the router."""
-        node = self._add_backbone_host(node_id, delay_s)
-        self.traffic_hosts.append(node_id)
-        return node
+        super().__init__(network)
+        TopologyCompiler((
+            CoreNetworkLayer(
+                router=router,
+                backbone_rate_bps=backbone_rate_bps,
+                backbone_delay_s=backbone_delay_s,
+                backbone_queue_packets=backbone_queue_packets,
+            ),
+        )).compile(network, into=self)

@@ -47,6 +47,9 @@ class BenchScenario:
     #: smoke mode scales the scenario down for CI gate runs
     smoke_clients: int = 2
     smoke_duration_s: float = 3.0
+    #: "star" = the classic single-router shape; "cdn" = two regions
+    #: with POPs and edge replicas, benched shared-flow off *and* on
+    topology: str = "star"
 
 
 SCENARIOS: dict[str, BenchScenario] = {
@@ -61,28 +64,61 @@ SCENARIOS: dict[str, BenchScenario] = {
             description="same population over a bursty-loss access link",
             config={"loss_p_gb": 0.05, "loss_bad": 0.3},
         ),
+        BenchScenario(
+            name="cdn_hot",
+            description="2-region CDN, one hot document, shared-flow "
+                        "batching A/B (origin egress + QoE parity)",
+            topology="cdn",
+            n_clients=32,
+            stagger_s=0.0,
+            smoke_clients=8,
+            # admission must clear 32 concurrent viewers (batching
+            # shares delivery, not per-session contract reservations)
+            config={"admission_capacity_bps": 400e6},
+        ),
     )
 }
 
 
-def run_scenario(scenario: BenchScenario, smoke: bool = False) -> dict:
-    """Run one scenario and return its trajectory artifact dict."""
+def _media_egress_bytes(eng) -> int:
+    """Bytes transmitted off every serving media host (origin+replicas)."""
+    hosts = {
+        ms.node_id
+        for server in eng.servers.values()
+        for ms in server.all_media_servers()
+    }
+    return sum(
+        link.stats.tx_bytes
+        for (src, _dst), link in eng.network.links.items()
+        if src in hosts
+    )
+
+
+def _run_once(scenario: BenchScenario, n_clients: int, duration_s: float,
+              shared_flows: bool) -> dict:
+    """One traced population run; the raw measurements."""
     from repro.core.config import EngineConfig
     from repro.core.engine import ServiceEngine
     from repro.core.experiments import av_markup
     from repro.obs.tracer import RecordingTracer
 
-    n_clients = scenario.smoke_clients if smoke else scenario.n_clients
-    duration_s = scenario.smoke_duration_s if smoke \
-        else scenario.duration_s
     tracer = RecordingTracer()
+    layers = None
+    config = dict(scenario.config)
+    with_images = True
+    if scenario.topology == "cdn":
+        from repro.net import cdn_stack
+
+        layers = cdn_stack(clients_per_region=max(1, n_clients // 2))
+        config["shared_flows"] = shared_flows
+        with_images = False  # one hot continuous A/V document
     eng = ServiceEngine(
-        EngineConfig(seed=scenario.seed, **scenario.config),
-        tracer=tracer,
+        EngineConfig(seed=scenario.seed, **config),
+        tracer=tracer, layers=layers,
     )
     eng.add_server(
         "srv1",
-        documents={"doc": (av_markup(duration_s, True), "bench")},
+        documents={"doc": (av_markup(duration_s, with_images), "bench")},
     )
     t0 = time.perf_counter()  # lint: allow(det-wall-clock)
     pop = eng.orchestrator.run_population(
@@ -91,6 +127,30 @@ def run_scenario(scenario: BenchScenario, smoke: bool = False) -> dict:
     wall_s = time.perf_counter() - t0  # lint: allow(det-wall-clock)
     events = sum(tracer.kind_counts().values())
     return {
+        "wall_s": wall_s,
+        "sim_time_s": eng.sim.now,
+        "events": events,
+        "events_per_sec": events / wall_s if wall_s > 0 else 0.0,
+        "sessions": len(pop),
+        "completed": len(pop.completed()),
+        "qoe": pop.qoe_summary(),
+        "origin_egress_bytes": _media_egress_bytes(eng),
+    }
+
+
+def run_scenario(scenario: BenchScenario, smoke: bool = False) -> dict:
+    """Run one scenario and return its trajectory artifact dict.
+
+    A ``topology="cdn"`` scenario runs its population twice — shared
+    flows off, then on — and reports the standard keys from the
+    shared run plus the egress A/B (``egress_reduction`` is the
+    headline: independent-flow bytes over shared-flow bytes off the
+    serving media hosts).
+    """
+    n_clients = scenario.smoke_clients if smoke else scenario.n_clients
+    duration_s = scenario.smoke_duration_s if smoke \
+        else scenario.duration_s
+    artifact = {
         "schema": BENCH_SCHEMA,
         "version": BENCH_SCHEMA_VERSION,
         "name": scenario.name,
@@ -99,14 +159,25 @@ def run_scenario(scenario: BenchScenario, smoke: bool = False) -> dict:
         "seed": scenario.seed,
         "clients": n_clients,
         "duration_s": duration_s,
-        "wall_s": wall_s,
-        "sim_time_s": eng.sim.now,
-        "events": events,
-        "events_per_sec": events / wall_s if wall_s > 0 else 0.0,
-        "sessions": len(pop),
-        "completed": len(pop.completed()),
-        "qoe": pop.qoe_summary(),
+        "topology": scenario.topology,
     }
+    if scenario.topology == "cdn":
+        unshared = _run_once(scenario, n_clients, duration_s,
+                             shared_flows=False)
+        shared = _run_once(scenario, n_clients, duration_s,
+                           shared_flows=True)
+        artifact.update(shared)
+        artifact["origin_egress_bytes_unshared"] = \
+            unshared["origin_egress_bytes"]
+        artifact["qoe_unshared"] = unshared["qoe"]
+        egress = shared["origin_egress_bytes"]
+        artifact["egress_reduction"] = (
+            unshared["origin_egress_bytes"] / egress if egress else 0.0
+        )
+    else:
+        artifact.update(_run_once(scenario, n_clients, duration_s,
+                                  shared_flows=False))
+    return artifact
 
 
 def run_benchmarks(names: list[str] | None = None,
@@ -179,4 +250,7 @@ def compare_to_baseline(
          baseline.get("events"), threshold)
     gate("events_per_sec", artifact.get("events_per_sec"),
          baseline.get("events_per_sec"), perf_threshold)
+    # cdn scenarios only; absent from star artifacts and old baselines
+    gate("egress_reduction", artifact.get("egress_reduction"),
+         baseline.get("egress_reduction"), threshold)
     return problems

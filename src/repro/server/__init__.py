@@ -30,8 +30,21 @@ from repro.server.quality_converter import MediaStreamQualityConverter
 from repro.server.qos_manager import GradingDecision, GradingPolicy, ServerQoSManager
 from repro.server.media_server import MediaServer, StreamHandler
 from repro.server.multimedia_server import MultimediaServer
+from repro.server.shared_flow import SharedFlow, SharedFlowManager
+from repro.server.broadcast import (
+    BroadcastSchedule,
+    HotSet,
+    PeriodicBroadcaster,
+    quasi_harmonic_schedule,
+)
 
 __all__ = [
+    "BroadcastSchedule",
+    "HotSet",
+    "PeriodicBroadcaster",
+    "SharedFlow",
+    "SharedFlowManager",
+    "quasi_harmonic_schedule",
     "AccountRegistry",
     "AdmissionController",
     "AdmissionRequest",

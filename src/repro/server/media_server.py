@@ -143,12 +143,15 @@ class MediaServer:
         name: str,
         node_id: str,
         store: MediaStore,
+        region: str | None = None,
     ) -> None:
         self.sim = sim
         self.network = network
         self.name = name
         self.node_id = node_id
         self.store = store
+        #: the region this server is the edge for (None = core/origin)
+        self.region = region
         #: (session_id, stream_id) -> live handler
         self.streams: dict[tuple[str, str], StreamHandler] = {}
         self.deliveries: list[DiscreteDelivery] = []
@@ -298,6 +301,12 @@ class MediaServer:
         handler.finished.callbacks.append(
             lambda ev: self._on_stream_finished(key)
         )
+        if self.sim._tracing:
+            metrics = getattr(self.sim._tracer, "metrics", None)
+            if metrics is not None:
+                # Per-replica load: which edge actually serves streams.
+                metrics.counter("media_streams_started",
+                                server=self.name).inc()
         return handler, converter
 
     def _on_stream_finished(self, key: tuple[str, str]) -> None:

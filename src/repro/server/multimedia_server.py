@@ -17,6 +17,7 @@ from repro.des import Simulator
 from repro.media.encodings import CodecRegistry
 from repro.model.scenario import PresentationScenario
 from repro.server.accounts import AccountRegistry, UserAccount
+from repro.server.broadcast import HotSet
 from repro.server.admission import (
     AdmissionController,
     AdmissionRequest,
@@ -83,6 +84,14 @@ class MultimediaServer:
         #: session_id -> live server-side protocol handler, registered
         #: by ServerSessionHandler so recovery can notify clients
         self.session_handlers: dict[str, object] = {}
+        #: client node -> region name, wired by the engine when the
+        #: topology is region-aware; drives edge-replica placement
+        self.region_resolver = None
+        #: shared-flow delivery batching (None = per-session flows)
+        self.shared_flows = None
+        #: demand counter over document requests; its top-k is the
+        #: candidate set for periodic-broadcast delivery
+        self.hot = HotSet()
 
     # -- service topology -------------------------------------------------
     def add_peer(self, server: "MultimediaServer") -> None:
@@ -114,18 +123,38 @@ class MultimediaServer:
             servers.extend(self.replicas.get(name, []))
         return servers
 
-    def healthy_media_server(self, name: str) -> MediaServer | None:
-        """The named media server, or a healthy replica, or None.
+    def healthy_media_server(
+        self, name: str, client_node: str | None = None
+    ) -> MediaServer | None:
+        """The serving media server for ``name``, or None.
 
-        This is the indirection every serving path goes through under
-        faults: it degrades gracefully from the primary to standbys.
+        This is the indirection every serving path goes through, both
+        for placement and under faults. Candidate order:
+
+        * without region information (no resolver, or no
+          ``client_node``): the primary, then its standbys — the
+          classic failover preference;
+        * with a region-aware topology: the client's *regional
+          replica* first (sessions land on their region's edge), then
+          the primary (origin) as the failover target, then the
+          remaining replicas.
+
+        The first healthy candidate wins; None means nobody can serve.
         """
         primary = self.media_servers.get(name)
-        if primary is not None and not primary.failed:
-            return primary
-        for replica in self.replicas.get(name, []):
-            if not replica.failed:
-                return replica
+        standbys = self.replicas.get(name, [])
+        candidates: list[MediaServer] = (
+            [primary] if primary is not None else []
+        ) + list(standbys)
+        if self.region_resolver is not None and client_node is not None:
+            region = self.region_resolver(client_node)
+            if region is not None:
+                regional = [ms for ms in standbys if ms.region == region]
+                rest = [ms for ms in candidates if ms not in regional]
+                candidates = regional + rest
+        for ms in candidates:
+            if not ms.failed:
+                return ms
         return None
 
     # -- connection admission (§4) -------------------------------------------
@@ -171,6 +200,8 @@ class MultimediaServer:
         for standbys in self.replicas.values():
             for ms in standbys:
                 ms.stop_session(session_id)
+        if self.shared_flows is not None:
+            self.shared_flows.stop_session(session_id)
         minutes = (self.sim.now - session.started_at) / 60.0
         charge = self.accounts.charge_session(session.user.user_id, minutes)
         session.user.log("logout", self.sim.now, self.name)
@@ -192,6 +223,7 @@ class MultimediaServer:
         stored = self.database.get(name)
         session.active_document = name
         session.user.log("retrieve", self.sim.now, name)
+        self.hot.record(name)
         return stored
 
     def plan_flows(self, session_id: str, name: str,

@@ -17,7 +17,7 @@ def engine(capacity_bps=50e6, access=20e6):
 
 def test_three_concurrent_sessions_all_complete():
     eng = engine()
-    results = eng.run_concurrent_sessions("srv1", "doc", n_sessions=3)
+    results = eng.orchestrator.run_concurrent_sessions("srv1", "doc", n_sessions=3)
     assert len(results) == 3
     assert all(r.completed for r in results)
     for r in results:
@@ -30,7 +30,7 @@ def test_sessions_isolated_one_disconnect_does_not_kill_others():
     """Staggered sessions end at different times; the first
     disconnect must not stop the later sessions' streams."""
     eng = engine()
-    results = eng.run_concurrent_sessions("srv1", "doc", n_sessions=3,
+    results = eng.orchestrator.run_concurrent_sessions("srv1", "doc", n_sessions=3,
                                           stagger_s=1.5)
     # The last session starts 3 s after the first ends ~2.8 s later;
     # overlap exists and everyone still plays to completion.
@@ -42,7 +42,7 @@ def test_sessions_isolated_one_disconnect_does_not_kill_others():
 def test_admission_rejects_excess_sessions():
     # Basic contracts see 70% of capacity: 4.2 Mb/s = two 2 Mb/s sessions.
     eng = engine(capacity_bps=6e6)
-    results = eng.run_concurrent_sessions("srv1", "doc", n_sessions=4,
+    results = eng.orchestrator.run_concurrent_sessions("srv1", "doc", n_sessions=4,
                                           stagger_s=0.1)
     completed = [r for r in results if r.completed]
     rejected = [r for r in results if not r.completed]
@@ -54,8 +54,8 @@ def test_admission_rejects_excess_sessions():
 def test_contention_degrades_quality_vs_solo():
     """Many sessions sharing a tight access link see worse QoP than a
     single session on the same link."""
-    solo = engine(access=4e6).run_concurrent_sessions("srv1", "doc", 1)
-    crowd = engine(access=4e6).run_concurrent_sessions("srv1", "doc", 4,
+    solo = engine(access=4e6).orchestrator.run_concurrent_sessions("srv1", "doc", 1)
+    crowd = engine(access=4e6).orchestrator.run_concurrent_sessions("srv1", "doc", 4,
                                                        stagger_s=0.2)
     solo_gaps = solo[0].total_gaps()
     crowd_gaps = sum(r.total_gaps() for r in crowd if r.completed)
@@ -64,4 +64,4 @@ def test_contention_degrades_quality_vs_solo():
 
 def test_n_sessions_validation():
     with pytest.raises(ValueError):
-        engine().run_concurrent_sessions("srv1", "doc", 0)
+        engine().orchestrator.run_concurrent_sessions("srv1", "doc", 0)

@@ -24,7 +24,7 @@ def engine_with_doc(markup, config=None, name="doc1"):
 
 def test_full_session_figure2():
     eng = engine_with_doc(figure2_markup())
-    result = eng.run_full_session("srv1", "doc1")
+    result = eng.orchestrator.run_full_session("srv1", "doc1")
     assert result.completed
     # All three continuous streams played essentially fully.
     assert result.streams["A1"].frames_played > 350  # 8 s at 50 fps
@@ -41,7 +41,7 @@ def test_full_session_figure2():
 
 def test_protocols_match_figure5():
     eng = engine_with_doc(figure2_markup())
-    result = eng.run_full_session("srv1", "doc1")
+    result = eng.orchestrator.run_full_session("srv1", "doc1")
     # Scenario/images over TCP; audio/video over RTP; feedback RTCP.
     assert result.protocol_bytes.get("TCP", 0) > 0
     assert result.protocol_bytes.get("RTP", 0) > 0
@@ -52,7 +52,7 @@ def test_protocols_match_figure5():
 
 def test_clean_network_no_grading():
     eng = engine_with_doc(small_av_markup())
-    result = eng.run_full_session("srv1", "doc1")
+    result = eng.orchestrator.run_full_session("srv1", "doc1")
     assert result.completed
     assert not result.grading_decisions
     assert result.mean_video_grade() == 0.0
@@ -68,7 +68,7 @@ def test_congestion_triggers_video_degradation():
         traffic=[TrafficConfig(kind="poisson", rate_bps=1.0e6)],
     )
     eng = engine_with_doc(small_av_markup(duration=20.0), cfg)
-    result = eng.run_full_session("srv1", "doc1")
+    result = eng.orchestrator.run_full_session("srv1", "doc1")
     assert result.completed
     degrades = [d for d in result.grading_decisions if d.action == "degrade"]
     assert degrades, "congestion should trigger the grading loop"
@@ -81,7 +81,7 @@ def test_congestion_triggers_video_degradation():
 def test_deterministic_replay():
     def run():
         eng = engine_with_doc(small_av_markup(), EngineConfig(seed=42))
-        r = eng.run_full_session("srv1", "doc1")
+        r = eng.orchestrator.run_full_session("srv1", "doc1")
         return (r.streams["V"].frames_played, r.streams["V"].packets_received,
                 r.total_gaps(), round(r.worst_skew_s(), 9))
 
@@ -99,7 +99,7 @@ def test_two_servers_with_search():
 
 def test_unknown_document_fails_cleanly():
     eng = engine_with_doc(small_av_markup())
-    result = eng.run_full_session("srv1", "nope")
+    result = eng.orchestrator.run_full_session("srv1", "nope")
     assert not result.completed
     assert result.events
 
@@ -109,6 +109,6 @@ def test_time_window_override_controls_startup():
                             EngineConfig(time_window_s=0.3))
     long = engine_with_doc(small_av_markup(),
                            EngineConfig(time_window_s=2.0))
-    r_short = short.run_full_session("srv1", "doc1")
-    r_long = long.run_full_session("srv1", "doc1")
+    r_short = short.orchestrator.run_full_session("srv1", "doc1")
+    r_long = long.orchestrator.run_full_session("srv1", "doc1")
     assert r_short.startup_latency_s < r_long.startup_latency_s

@@ -16,7 +16,7 @@ def test_separate_media_hosts_topology():
     assert len(nodes) == 3
     assert server.node_id not in nodes
     # The parallel-connection delivery still works, in sync.
-    result = eng.run_full_session("srv1", "fig2")
+    result = eng.orchestrator.run_full_session("srv1", "fig2")
     assert result.completed
     assert result.worst_skew_s() < 0.08
     assert result.total_gap_ratio() < 0.05
@@ -89,7 +89,7 @@ def test_time_window_sizing_uses_statistics_when_unset():
     statistical formula (not a fixed default)."""
     eng = ServiceEngine(EngineConfig(time_window_s=None))
     eng.add_server("srv1", documents={"doc": (av_markup(3.0), "x")})
-    result = eng.run_full_session("srv1", "doc")
+    result = eng.orchestrator.run_full_session("srv1", "doc")
     assert result.completed
     for sid in ("A", "V"):
         assert result.streams[sid].time_window_s >= 0.2

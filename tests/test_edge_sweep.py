@@ -113,7 +113,7 @@ def test_session_result_to_dict_json_roundtrip():
     )
     eng = ServiceEngine(cfg)
     eng.add_server("srv1", documents={"doc": (av_markup(8.0), "x")})
-    result = eng.run_full_session("srv1", "doc")
+    result = eng.orchestrator.run_full_session("srv1", "doc")
     d = result.to_dict()
     text = json.dumps(d)  # fully JSON-serializable
     back = json.loads(text)

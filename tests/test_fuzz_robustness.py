@@ -139,7 +139,7 @@ def test_full_service_under_combined_impairments():
     )
     eng = ServiceEngine(cfg)
     eng.add_server("srv1", documents={"doc": (av_markup(12.0), "x")})
-    r = eng.run_full_session("srv1", "doc", horizon_s=120.0)
+    r = eng.orchestrator.run_full_session("srv1", "doc", horizon_s=120.0)
     assert r.completed
     for s in r.streams.values():
         assert s.frames_played >= 0
@@ -154,7 +154,7 @@ def test_full_service_under_combined_impairments():
 def test_session_against_empty_server():
     eng = ServiceEngine()
     eng.add_server("srv1")
-    r = eng.run_full_session("srv1", "anything")
+    r = eng.orchestrator.run_full_session("srv1", "anything")
     assert not r.completed
 
 
@@ -167,6 +167,6 @@ def test_property_engine_never_deadlocks(seed):
                                               rate_bps=2e6)])
     eng = ServiceEngine(cfg)
     eng.add_server("srv1", documents={"doc": (av_markup(3.0), "x")})
-    r = eng.run_full_session("srv1", "doc", horizon_s=60.0)
+    r = eng.orchestrator.run_full_session("srv1", "doc", horizon_s=60.0)
     assert r.completed
     assert eng.sim.now < 60.0

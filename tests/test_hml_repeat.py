@@ -67,7 +67,7 @@ def test_repeat_end_to_end_delivery():
     )
     eng = ServiceEngine()
     eng.add_server("srv1", documents={"doc": (serialize(doc), "x")})
-    result = eng.run_full_session("srv1", "doc")
+    result = eng.orchestrator.run_full_session("srv1", "doc")
     assert result.completed
     # ~3 s of audio at 50 frames/s.
     assert result.streams["JINGLE"].frames_played == pytest.approx(150, abs=5)

@@ -78,7 +78,7 @@ def test_full_service_over_atm_access():
     eng.add_server("srv1", documents={"doc": (av_markup(4.0), "demo")})
     link = eng.network.link(ServiceEngine.ROUTER, ServiceEngine.CLIENT)
     assert isinstance(link, AtmLink)
-    result = eng.run_full_session("srv1", "doc")
+    result = eng.orchestrator.run_full_session("srv1", "doc")
     assert result.completed
     assert result.total_gap_ratio() < 0.05
     assert link.cells_tx > 0

@@ -171,7 +171,7 @@ def chained_documents(n=3, duration=3.0):
 def test_autoplay_follows_timed_links():
     eng = ServiceEngine()
     eng.add_server("srv1", documents=chained_documents(3))
-    visits = eng.run_autoplay_sequence("srv1", "part-1")
+    visits = eng.orchestrator.run_autoplay_sequence("srv1", "part-1")
     assert [v["document"] for v in visits] == ["part-1", "part-2", "part-3"]
     assert visits[-1]["history"] == ["part-1", "part-2", "part-3"]
     # Every part actually played audio frames.
@@ -192,7 +192,7 @@ def test_autoplay_interrupts_when_link_fires_early():
             .build()), "x"),
     }
     eng.add_server("srv1", documents=docs)
-    visits = eng.run_autoplay_sequence("srv1", "long", horizon_s=100.0)
+    visits = eng.orchestrator.run_autoplay_sequence("srv1", "long", horizon_s=100.0)
     assert [v["document"] for v in visits] == ["long", "short"]
     assert visits[0]["interrupted"] is True
     assert visits[1]["interrupted"] is False
@@ -211,6 +211,6 @@ def test_autoplay_respects_max_documents():
                         .hyperlink("a", at_time=1.0).build()), "x"),
     }
     eng.add_server("srv1", documents=docs)
-    visits = eng.run_autoplay_sequence("srv1", "a", max_documents=5)
+    visits = eng.orchestrator.run_autoplay_sequence("srv1", "a", max_documents=5)
     assert len(visits) == 5
     assert [v["document"] for v in visits] == ["a", "b", "a", "b", "a"]
