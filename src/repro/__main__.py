@@ -8,9 +8,20 @@ Usage:
     python -m repro trace FILE.jsonl  # summarize a recorded trace
     python -m repro trace --record OUT.jsonl [--chrome OUT.json]
                                       # record a traced population run
-    python -m repro bench [--smoke]   # benchmark trajectory artifacts
+    python -m repro bench [--smoke] [--profile]
+                                      # benchmark trajectory artifacts
                                       # (BENCH_<name>.json + baseline
-                                      # regression check)
+                                      # regression check; --profile
+                                      # adds kernel attribution)
+    python -m repro profile [--scenario NAME] [--smoke]
+                                      # DES kernel profiler: hot-spot
+                                      # tables, PROFILE_<name>.json and
+                                      # a collapsed-stack export for
+                                      # flamegraph/speedscope
+    python -m repro slo [--artifact FILE | --scenario NAME | --chaos NAME]
+                                      # evaluate SLO rules against a
+                                      # saved artifact or a live run;
+                                      # exit 1 on any violated rule
     python -m repro chaos [--scenario crash] [--smoke]
                                       # fault-injection run: scheduled
                                       # crashes/flaps/partitions with
@@ -196,6 +207,7 @@ def _bench(args: list[str], report: Reporter) -> int:
 
     smoke = False
     update_baseline = False
+    profile = False
     out_dir = "."
     baseline_dir = os.path.join("benchmarks", "baseline")
     threshold = DEFAULT_THRESHOLD
@@ -206,6 +218,8 @@ def _bench(args: list[str], report: Reporter) -> int:
         a = args[i]
         if a == "--smoke":
             smoke = True
+        elif a == "--profile":
+            profile = True
         elif a == "--update-baseline":
             update_baseline = True
         elif a == "--out":
@@ -236,7 +250,8 @@ def _bench(args: list[str], report: Reporter) -> int:
             names.extend(matching)
         elif a in ("-h", "--help"):
             report.text(
-                "usage: python -m repro bench [--smoke] [--out DIR] "
+                "usage: python -m repro bench [--smoke] [--profile] "
+                "[--out DIR] "
                 "[--baseline DIR] [--threshold F] [--perf-threshold F] "
                 "[--scenario NAME ...] [--topology star|cdn] "
                 "[--update-baseline]")
@@ -248,12 +263,19 @@ def _bench(args: list[str], report: Reporter) -> int:
         i += 1
 
     os.makedirs(out_dir, exist_ok=True)
-    artifacts = run_benchmarks(names or None, smoke=smoke)
+    artifacts = run_benchmarks(names or None, smoke=smoke,
+                               profile=profile)
     problems: list[str] = []
     rows = []
     for name, artifact in artifacts.items():
         out_path = os.path.join(out_dir, f"BENCH_{name}.json")
         report.artifact(f"artifact:{name}", out_path, artifact)
+        if profile and "profile" in artifact:
+            prof_path = os.path.join(out_dir, f"PROFILE_{name}.json")
+            report.artifact(f"profile:{name}", prof_path,
+                            artifact["profile"])
+            report.value(f"profile_coverage:{name}",
+                         round(artifact["profile"]["coverage"], 4))
         qoe = artifact.get("qoe") or {}
         rows.append([
             name, artifact["clients"],
@@ -286,6 +308,191 @@ def _bench(args: list[str], report: Reporter) -> int:
     for problem in problems:
         report.value("regression", problem)
     return 1 if problems else 0
+
+
+def _profile(args: list[str], report: Reporter) -> int:
+    """``profile`` subcommand: kernel attribution over a bench run."""
+    import os
+
+    from repro.obs.bench import SCENARIOS, run_scenario
+
+    smoke = False
+    out_dir = "."
+    top = 15
+    names: list[str] = []
+    i = 0
+    while i < len(args):
+        a = args[i]
+        if a == "--smoke":
+            smoke = True
+        elif a == "--scenario":
+            i += 1
+            names.append(args[i])
+        elif a == "--out":
+            i += 1
+            out_dir = args[i]
+        elif a == "--top":
+            i += 1
+            top = int(args[i])
+        elif a in ("-h", "--help"):
+            report.text(
+                "usage: python -m repro profile [--scenario NAME ...] "
+                "[--smoke] [--out DIR] [--top N]")
+            report.text(f"scenarios: {', '.join(sorted(SCENARIOS))}")
+            return 0
+        else:
+            report.text(f"unknown profile option {a!r}")
+            return 2
+        i += 1
+
+    if not names:
+        names = ["population_clean"]
+    os.makedirs(out_dir, exist_ok=True)
+    for name in names:
+        scenario = SCENARIOS.get(name)
+        if scenario is None:
+            report.text(f"unknown bench scenario {name!r}; "
+                        f"available: {', '.join(sorted(SCENARIOS))}")
+            return 2
+        artifact = run_scenario(scenario, smoke=smoke, profile=True)
+        prof = artifact["profile"]
+        out_path = os.path.join(out_dir, f"PROFILE_{name}.json")
+        report.artifact(f"profile:{name}", out_path, prof)
+        collapsed_path = os.path.join(out_dir,
+                                      f"PROFILE_{name}.collapsed.txt")
+        with open(collapsed_path, "w", encoding="utf-8") as fh:
+            for line in prof["collapsed_stacks"]:
+                fh.write(line + "\n")
+        report.value(f"collapsed:{name}", collapsed_path)
+        report.table(
+            f"Kernel time by event kind — {name}"
+            + (" (smoke)" if smoke else ""),
+            ["kind", "count", "total_us", "mean_us", "share"],
+            [[r["kind"], r["count"], f"{r['total_us']:.0f}",
+              f"{r['mean_us']:.2f}", f"{r['share']:.1%}"]
+             for r in prof["by_kind"]],
+        )
+        report.table(
+            f"Hot spots — {name}",
+            ["kind", "handler", "count", "total_us", "mean_us"],
+            [[r["kind"], r["handler"], r["count"],
+              f"{r['total_us']:.0f}", f"{r['mean_us']:.2f}"]
+             for r in prof["hotspots"][:top]],
+        )
+        report.value(f"kernel_ms:{name}", round(prof["kernel_ms"], 2))
+        report.value(f"coverage:{name}", round(prof["coverage"], 4))
+    return 0
+
+
+def _slo(args: list[str], report: Reporter) -> int:
+    """``slo`` subcommand: evaluate SLO rules, exit 1 on violation."""
+    import json
+
+    from repro.obs.slo import DEFAULT_SLOS, evaluate, parse_spec
+
+    artifact_path: str | None = None
+    scenario: str | None = None
+    chaos: str | None = None
+    spec_key: str | None = None
+    spec_file: str | None = None
+    rules_text: list[str] = []
+    smoke = False
+    i = 0
+    while i < len(args):
+        a = args[i]
+        if a == "--artifact":
+            i += 1
+            artifact_path = args[i]
+        elif a == "--scenario":
+            i += 1
+            scenario = args[i]
+        elif a == "--chaos":
+            i += 1
+            chaos = args[i]
+        elif a == "--spec":
+            i += 1
+            spec_key = args[i]
+        elif a == "--spec-file":
+            i += 1
+            spec_file = args[i]
+        elif a == "--rule":
+            i += 1
+            rules_text.append(args[i])
+        elif a == "--smoke":
+            smoke = True
+        elif a in ("-h", "--help"):
+            report.text(
+                "usage: python -m repro slo (--artifact FILE | "
+                "--scenario NAME | --chaos NAME) [--smoke] "
+                "[--spec KEY] [--spec-file FILE] [--rule 'metric op N']...")
+            report.text(f"shipped specs: {', '.join(sorted(DEFAULT_SLOS))}")
+            return 0
+        else:
+            report.text(f"unknown slo option {a!r}")
+            return 2
+        i += 1
+
+    sources = [s for s in (artifact_path, scenario, chaos) if s]
+    if len(sources) != 1:
+        report.text("slo needs exactly one of --artifact / --scenario / "
+                    "--chaos (see --help)")
+        return 2
+
+    if artifact_path is not None:
+        with open(artifact_path, encoding="utf-8") as fh:
+            artifact = json.load(fh)
+        default_key = artifact.get("name") or artifact.get("scenario")
+        if artifact.get("schema") == "repro.chaos":
+            default_key = "chaos"
+    elif scenario is not None:
+        from repro.obs.bench import SCENARIOS, run_scenario
+
+        bench_scenario = SCENARIOS.get(scenario)
+        if bench_scenario is None:
+            report.text(f"unknown bench scenario {scenario!r}; "
+                        f"available: {', '.join(sorted(SCENARIOS))}")
+            return 2
+        artifact = run_scenario(bench_scenario, smoke=smoke)
+        default_key = scenario
+    else:
+        from repro.faults.scenarios import run_chaos
+
+        artifact = run_chaos(chaos, smoke=smoke).artifact
+        default_key = "chaos"
+
+    rules = []
+    if spec_file is not None:
+        with open(spec_file, encoding="utf-8") as fh:
+            rules.extend(parse_spec(fh.read().splitlines()))
+    if rules_text:
+        rules.extend(parse_spec(rules_text))
+    if not rules:
+        key = spec_key if spec_key is not None else default_key
+        spec = DEFAULT_SLOS.get(key or "")
+        if spec is None:
+            report.text(
+                f"no SLO spec for {key!r}: pass --spec "
+                f"({', '.join(sorted(DEFAULT_SLOS))}), --spec-file or "
+                "--rule")
+            return 2
+        report.value("spec", key)
+        rules = parse_spec(spec)
+
+    checks = evaluate(rules, artifact)
+    report.table(
+        "SLO evaluation",
+        ["rule", "value", "status"],
+        [[c.rule.text,
+          "missing" if c.value is None else f"{c.value:g}",
+          "PASS" if c.ok else "FAIL"]
+         for c in checks],
+    )
+    service = artifact.get("service")
+    if isinstance(service, dict) and service:
+        report.service_report(service)
+    violations = [c for c in checks if not c.ok]
+    report.value("violations", len(violations))
+    return 1 if violations else 0
 
 
 def _chaos(args: list[str], report: Reporter) -> int:
@@ -369,6 +576,8 @@ def _chaos(args: list[str], report: Reporter) -> int:
             ["digest", a["digest"][:16]],
         ],
     )
+    if isinstance(a.get("service"), dict) and a["service"]:
+        report.service_report(a["service"])
     if out_path:
         report.artifact(f"chaos:{name}", out_path, a)
     failed = False
@@ -469,6 +678,10 @@ def main(argv: list[str] | None = None) -> int:
             return _bench(args[1:], report)
         if cmd == "chaos":
             return _chaos(args[1:], report)
+        if cmd == "profile":
+            return _profile(args[1:], report)
+        if cmd == "slo":
+            return _slo(args[1:], report)
         if cmd == "lint":
             return _lint(args[1:], report)
         if cmd == "run":

@@ -56,6 +56,60 @@ class Reporter:
         else:
             print(f"{key}: {value}", file=self.stream)
 
+    def service_report(self, report: dict[str, Any]) -> None:
+        """Report a ServiceReport dict under its stable key.
+
+        JSON mode stores the (already version-stamped) document at
+        the top level as ``service_report``, so consumers address it
+        without digging through ``sections``; text mode renders the
+        operator tables (load, egress, admission, recovery).
+        """
+        if self.json_mode:
+            self._doc["service_report"] = report
+            return
+        servers = report.get("servers", {})
+        if servers:
+            self.table(
+                "Service load (concurrent streams)",
+                ["media server", "region", "mean", "peak", "samples"],
+                [[name, s["region"], f"{s['mean_streams']:.2f}",
+                  s["peak_streams"], s["samples"]]
+                 for name, s in servers.items()],
+            )
+        egress = report.get("egress", {})
+        if egress.get("by_host"):
+            self.table(
+                "Egress by serving host",
+                ["host", "region", "bytes"],
+                [[host, e["region"], e["bytes"]]
+                 for host, e in egress["by_host"].items()],
+            )
+            self.value("origin_egress_bytes", egress.get("origin_bytes"))
+            self.value("edge_egress_bytes", egress.get("edge_bytes"))
+        admission = report.get("admission", {})
+        if admission.get("requests"):
+            self.table(
+                "Admission",
+                ["server", "requests", "admitted", "rejected"],
+                [[name, s["requests"], s["admitted"], s["rejected"]]
+                 for name, s in admission.get("by_server", {}).items()],
+            )
+            self.value("blocking_prob",
+                       f"{admission.get('blocking_prob', 0.0):.4f}")
+        recovery = report.get("recovery", {})
+        if recovery.get("detections"):
+            recover = recovery.get("time_to_recover_s", {})
+            self.table(
+                "Recovery",
+                ["detections", "failed_over", "lost", "saved",
+                 "t_recover_p95_s"],
+                [[recovery["detections"],
+                  recovery["streams_failed_over"],
+                  recovery["streams_lost"],
+                  recovery["sessions_saved"],
+                  f"{recover.get('p95', 0.0):.3f}"]],
+            )
+
     def artifact(self, key: str, path: str, doc: Any) -> None:
         """Write ``doc`` as a JSON artifact file and report its path.
 

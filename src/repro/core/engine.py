@@ -87,6 +87,8 @@ class ServiceEngine:
         #: fault-injection subsystem (None until install_faults)
         self._faults = None
         self._watchdogs: dict[str, Any] = {}
+        #: fleet telemetry (None until attach_service_monitor)
+        self._service_monitor = None
         self._build_backbone()
 
     # -- topology -----------------------------------------------------------
@@ -361,6 +363,27 @@ class ServiceEngine:
     def watchdogs(self) -> dict[str, Any]:
         """server name -> MediaWatchdog, when recovery is installed."""
         return self._watchdogs
+
+    # -- service telemetry --------------------------------------------------
+    def attach_service_monitor(self, interval_s: float = 0.25):
+        """Start fleet-level telemetry sampling (idempotent).
+
+        The monitor ticks on the simulated clock, so an attached
+        engine stays deterministic; population runs pick the report
+        up automatically (``PopulationResult.service``).
+        """
+        if self._service_monitor is None:
+            from repro.obs.service_metrics import ServiceMonitor
+
+            self._service_monitor = ServiceMonitor(
+                self, interval_s=interval_s)
+            self._service_monitor.start()
+        return self._service_monitor
+
+    @property
+    def service_monitor(self):
+        """The attached :class:`ServiceMonitor`, or ``None``."""
+        return self._service_monitor
 
     def add_media_replica(self, server_name: str, primary_media: str,
                           replica_name: str | None = None,

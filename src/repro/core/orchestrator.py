@@ -69,6 +69,9 @@ class PopulationResult:
     #: run-wide metrics rollup (sum of per-session event counts plus
     #: any run-level instruments); filled when the engine is traced
     metrics: dict[str, Any] = field(default_factory=dict)
+    #: fleet-level ServiceReport dict; filled when the engine has a
+    #: service monitor attached (empty otherwise)
+    service: dict[str, Any] = field(default_factory=dict)
 
     def aggregate_metrics(self) -> dict[str, int]:
         """Sum the per-session event-count snapshots across outcomes."""
@@ -126,8 +129,12 @@ class PopulationResult:
                 if o.result.total_gap_ratio() <= max_gap_ratio]
 
     def to_dict(self) -> dict:
-        """Full JSON-serializable form (for determinism digests)."""
-        return {
+        """Full JSON-serializable form (for determinism digests).
+
+        ``service`` joins the dict only when a monitor produced one,
+        so digests of monitor-less runs match pre-telemetry builds.
+        """
+        doc = {
             "outcomes": [
                 {
                     "session_id": o.session_id,
@@ -143,6 +150,9 @@ class PopulationResult:
             ],
             "metrics": self.metrics,
         }
+        if self.service:
+            doc["service"] = self.service
+        return doc
 
     def by_client(self) -> dict[str, list[SessionOutcome]]:
         grouped: dict[str, list[SessionOutcome]] = {}
@@ -500,6 +510,9 @@ class SessionOrchestrator:
             registry = getattr(tracer, "metrics", None)
             if registry is not None:
                 result.metrics["_registry"] = registry.snapshot()
+        monitor = getattr(self.engine, "service_monitor", None)
+        if monitor is not None:
+            result.service = monitor.report().to_dict()
         return result
 
     # -- autoplay ------------------------------------------------------------

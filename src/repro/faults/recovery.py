@@ -45,6 +45,10 @@ class MediaWatchdog:
         self.streams_lost = 0
         #: sessions that had at least one stream restored
         self.sessions_saved: set[str] = set()
+        #: raw per-event latencies, kept unconditionally (bounded by
+        #: the fault count) so service reports work on untraced runs
+        self.detect_times: list[float] = []
+        self.recover_times: list[float] = []
         for ms in server.all_media_servers():
             self.attach(ms)
 
@@ -70,6 +74,7 @@ class MediaWatchdog:
 
     def _detect(self, ms: MediaServer) -> None:
         self.detections += 1
+        self.detect_times.append(self.detect_delay_s)
         if self.sim._tracing:
             self.sim._tracer.emit(self.sim.now, "recovery.detect", ms.name,
                                   node=ms.node_id,
@@ -171,6 +176,7 @@ class MediaWatchdog:
             )
         t_recover = now - snap.crashed_at
         self.streams_failed_over += 1
+        self.recover_times.append(t_recover)
         self.sessions_saved.add(origin.session_id)
         if self.sim._tracing:
             self.sim._tracer.emit(

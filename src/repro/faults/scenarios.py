@@ -221,6 +221,7 @@ def run_chaos(
         "srv1",
         documents={"doc": (chaos_markup(duration), "chaos")},
     )
+    eng.attach_service_monitor()
     if scenario.replica:
         eng.add_media_replica("srv1", "media")
     plan = build_plan(name, n_clients=n, stagger_s=scenario.stagger_s,
@@ -264,6 +265,8 @@ def run_chaos(
             "streams_lost": watchdog.streams_lost,
             "sessions_saved": len(watchdog.sessions_saved),
         }
+    if pop.service:
+        artifact["service"] = pop.service
     if trace:
         artifact["qoe"] = pop.qoe_summary()
     return ChaosRun(scenario=name, population=pop, digest=digest,

@@ -39,30 +39,66 @@ from repro.obs.metrics import (
     MetricsRegistry,
     log_buckets,
 )
+from repro.obs.profile import (
+    PROFILE_SCHEMA,
+    PROFILE_SCHEMA_VERSION,
+    KernelProfiler,
+)
 from repro.obs.qoe import (
     SessionQoE,
     qoe_summary,
     score_session,
     score_sessions,
 )
+from repro.obs.service_metrics import (
+    SERVICE_SCHEMA,
+    SERVICE_SCHEMA_VERSION,
+    ServerLoad,
+    ServiceMonitor,
+    ServiceReport,
+)
+from repro.obs.slo import (
+    DEFAULT_SLOS,
+    SloCheck,
+    SloRule,
+    evaluate,
+    flatten_metrics,
+    parse_rule,
+    parse_spec,
+)
 from repro.obs.summary import summarize_trace
 from repro.obs.tracer import RecordingTracer, TraceEvent, Tracer
 
 __all__ = [
     "Counter",
+    "DEFAULT_SLOS",
     "FrameSpan",
     "Gauge",
     "Histogram",
+    "KernelProfiler",
     "MetricsRegistry",
+    "PROFILE_SCHEMA",
+    "PROFILE_SCHEMA_VERSION",
     "RecordingTracer",
+    "SERVICE_SCHEMA",
+    "SERVICE_SCHEMA_VERSION",
+    "ServerLoad",
+    "ServiceMonitor",
+    "ServiceReport",
     "SessionQoE",
+    "SloCheck",
+    "SloRule",
     "TRACE_SCHEMA",
     "TRACE_SCHEMA_VERSION",
     "TraceEvent",
     "Tracer",
     "correlate_frames",
+    "evaluate",
+    "flatten_metrics",
     "hop_latency_summary",
     "log_buckets",
+    "parse_rule",
+    "parse_spec",
     "qoe_summary",
     "read_chrome_trace",
     "read_jsonl",

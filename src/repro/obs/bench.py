@@ -95,8 +95,14 @@ def _media_egress_bytes(eng) -> int:
 
 
 def _run_once(scenario: BenchScenario, n_clients: int, duration_s: float,
-              shared_flows: bool) -> dict:
-    """One traced population run; the raw measurements."""
+              shared_flows: bool,
+              profiler: "Any | None" = None) -> dict:
+    """One traced population run; the raw measurements.
+
+    Passing a :class:`~repro.obs.profile.KernelProfiler` installs it
+    on the run's simulator (``bench --profile``); the caller reads
+    attribution off the profiler afterwards.
+    """
     from repro.core.config import EngineConfig
     from repro.core.engine import ServiceEngine
     from repro.core.experiments import av_markup
@@ -120,11 +126,16 @@ def _run_once(scenario: BenchScenario, n_clients: int, duration_s: float,
         "srv1",
         documents={"doc": (av_markup(duration_s, with_images), "bench")},
     )
+    eng.attach_service_monitor()
+    if profiler is not None:
+        profiler.install(eng.sim)
     t0 = time.perf_counter()  # lint: allow(det-wall-clock)
     pop = eng.orchestrator.run_population(
         n_clients, "srv1", "doc", stagger_s=scenario.stagger_s
     )
     wall_s = time.perf_counter() - t0  # lint: allow(det-wall-clock)
+    if profiler is not None:
+        profiler.uninstall()
     events = sum(tracer.kind_counts().values())
     return {
         "wall_s": wall_s,
@@ -135,10 +146,12 @@ def _run_once(scenario: BenchScenario, n_clients: int, duration_s: float,
         "completed": len(pop.completed()),
         "qoe": pop.qoe_summary(),
         "origin_egress_bytes": _media_egress_bytes(eng),
+        "service": pop.service,
     }
 
 
-def run_scenario(scenario: BenchScenario, smoke: bool = False) -> dict:
+def run_scenario(scenario: BenchScenario, smoke: bool = False,
+                 profile: bool = False) -> dict:
     """Run one scenario and return its trajectory artifact dict.
 
     A ``topology="cdn"`` scenario runs its population twice — shared
@@ -146,7 +159,16 @@ def run_scenario(scenario: BenchScenario, smoke: bool = False) -> dict:
     shared run plus the egress A/B (``egress_reduction`` is the
     headline: independent-flow bytes over shared-flow bytes off the
     serving media hosts).
+
+    ``profile=True`` installs a kernel profiler on the headline run
+    (the shared one, for cdn scenarios) and adds its attribution
+    under the artifact's ``profile`` key.
     """
+    profiler = None
+    if profile:
+        from repro.obs.profile import KernelProfiler
+
+        profiler = KernelProfiler()
     n_clients = scenario.smoke_clients if smoke else scenario.n_clients
     duration_s = scenario.smoke_duration_s if smoke \
         else scenario.duration_s
@@ -165,7 +187,7 @@ def run_scenario(scenario: BenchScenario, smoke: bool = False) -> dict:
         unshared = _run_once(scenario, n_clients, duration_s,
                              shared_flows=False)
         shared = _run_once(scenario, n_clients, duration_s,
-                           shared_flows=True)
+                           shared_flows=True, profiler=profiler)
         artifact.update(shared)
         artifact["origin_egress_bytes_unshared"] = \
             unshared["origin_egress_bytes"]
@@ -176,12 +198,15 @@ def run_scenario(scenario: BenchScenario, smoke: bool = False) -> dict:
         )
     else:
         artifact.update(_run_once(scenario, n_clients, duration_s,
-                                  shared_flows=False))
+                                  shared_flows=False, profiler=profiler))
+    if profiler is not None:
+        artifact["profile"] = profiler.to_artifact(scenario.name)
     return artifact
 
 
 def run_benchmarks(names: list[str] | None = None,
-                   smoke: bool = False) -> dict[str, dict]:
+                   smoke: bool = False,
+                   profile: bool = False) -> dict[str, dict]:
     """Run the named scenarios (default: all); {name: artifact}."""
     selected = list(SCENARIOS) if not names else names
     out: dict[str, dict] = {}
@@ -192,7 +217,7 @@ def run_benchmarks(names: list[str] | None = None,
                 f"unknown bench scenario {name!r}; "
                 f"available: {sorted(SCENARIOS)}"
             )
-        out[name] = run_scenario(scenario, smoke=smoke)
+        out[name] = run_scenario(scenario, smoke=smoke, profile=profile)
     return out
 
 

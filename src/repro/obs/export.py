@@ -37,8 +37,11 @@ __all__ = [
 
 #: schema identity stamped into every export
 TRACE_SCHEMA = "repro.trace"
-#: bumped on any incompatible change to the event dict layout
-TRACE_SCHEMA_VERSION = 2
+#: bumped on any incompatible change to the event dict layout.
+#: v3: shared-delivery and admission kinds (``sflow.*``, ``bcast.*``,
+#: ``admission.*``) join the stream; readers accept 1..current, so
+#: v2 (and headerless v1) traces keep loading.
+TRACE_SCHEMA_VERSION = 3
 
 
 def _validate_schema(header: dict, where: str) -> int:

@@ -138,6 +138,29 @@ class Histogram:
         return {f"p{round(q * 100):d}": self.quantile(q)
                 for q in quantiles}
 
+    def merge(self, other: "Histogram") -> "Histogram":
+        """A new histogram holding both distributions.
+
+        Associative and commutative (bucket counts and totals add;
+        min/max combine), so shard results can merge in any order.
+        Both operands must share identical bucket bounds — merging
+        differently bucketed histograms would silently misplace mass.
+        """
+        if self.bounds != other.bounds:
+            raise ValueError(
+                "cannot merge histograms with different bucket bounds"
+            )
+        merged = Histogram(
+            bounds=self.bounds,
+            bucket_counts=[a + b for a, b in
+                           zip(self.bucket_counts, other.bucket_counts)],
+            count=self.count + other.count,
+            total=self.total + other.total,
+            min=min(self.min, other.min),
+            max=max(self.max, other.max),
+        )
+        return merged
+
     def summary(self) -> dict[str, float]:
         if not self.count:
             return {"count": 0, "sum": 0.0, "mean": 0.0,

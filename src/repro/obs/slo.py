@@ -1,0 +1,213 @@
+"""Declarative SLO gates over run artifacts.
+
+The paper's operator sells QoS *contracts*; an SLO spec is the
+operator-side mirror — the service levels a run must hold. A spec is
+a list of plain-text rules::
+
+    qoe_p50 >= 70
+    blocking_prob <= 0.05
+    time_to_recover_p95 <= 2.0
+    origin_egress_bps <= 40e6
+
+evaluated against the flattened metrics of a live run or a saved
+``BENCH_*.json`` / ``CHAOS_*.json`` artifact. Well-known aliases
+(:data:`METRIC_ALIASES`) cover the headline service metrics; any
+other metric name is resolved as a dotted path into the artifact
+(``service.admission.requests``). ``python -m repro slo`` exits 1 on
+any violated rule, which is what lets CI gate chaos and CDN smoke
+jobs on service levels instead of ad-hoc thresholds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["SloRule", "SloCheck", "parse_rule", "parse_spec",
+           "flatten_metrics", "evaluate", "DEFAULT_SLOS",
+           "METRIC_ALIASES"]
+
+#: comparison operators, longest first so ``<=`` wins over ``<``
+_OPS: tuple[tuple[str, Any], ...] = (
+    ("<=", lambda a, b: a <= b),
+    (">=", lambda a, b: a >= b),
+    ("==", lambda a, b: a == b),
+    ("!=", lambda a, b: a != b),
+    ("<", lambda a, b: a < b),
+    (">", lambda a, b: a > b),
+)
+
+#: alias -> dotted artifact paths tried in order (first hit wins)
+METRIC_ALIASES: dict[str, tuple[str, ...]] = {
+    "qoe_p50": ("qoe.score.p50",),
+    "qoe_p95": ("qoe.score.p95",),
+    "startup_p95": ("qoe.startup_s.p95",),
+    "blocking_prob": ("service.admission.blocking_prob",),
+    "admission_requests": ("service.admission.requests",),
+    "time_to_detect_p95": ("service.recovery.time_to_detect_s.p95",),
+    "time_to_recover_p95": ("service.recovery.time_to_recover_s.p95",),
+    "recoveries": ("service.recovery.streams_failed_over",),
+    "streams_lost": ("service.recovery.streams_lost",),
+    "origin_egress_bytes": ("service.egress.origin_bytes",
+                            "origin_egress_bytes"),
+    "origin_egress_bps": ("service.egress.origin_egress_bps",),
+    "egress_reduction": ("egress_reduction",),
+    "events": ("events",),
+    "events_per_sec": ("events_per_sec",),
+}
+
+#: shipped default specs, keyed by bench/chaos scenario name
+DEFAULT_SLOS: dict[str, tuple[str, ...]] = {
+    "population_clean": (
+        "qoe_p50 >= 70",
+        "completed_ratio >= 0.95",
+        "blocking_prob <= 0.05",
+        "time_to_recover_p95 <= 2.0",
+    ),
+    "population_lossy": (
+        "qoe_p50 >= 40",
+        "completed_ratio >= 0.95",
+        "blocking_prob <= 0.05",
+    ),
+    "cdn_hot": (
+        "qoe_p50 >= 60",
+        "completed_ratio >= 0.95",
+        "blocking_prob <= 0.05",
+        "egress_reduction >= 2.0",
+    ),
+    "chaos": (
+        "delivered_ratio >= 0.75",
+        "blocking_prob <= 0.05",
+        "time_to_recover_p95 <= 2.0",
+        "streams_lost <= 0",
+    ),
+}
+
+
+@dataclass(slots=True, frozen=True)
+class SloRule:
+    """One parsed rule: ``metric op threshold``."""
+
+    metric: str
+    op: str
+    threshold: float
+
+    @property
+    def text(self) -> str:
+        return f"{self.metric} {self.op} {self.threshold:g}"
+
+
+@dataclass(slots=True)
+class SloCheck:
+    """The outcome of one rule against one artifact."""
+
+    rule: SloRule
+    value: float | None
+    ok: bool
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "rule": self.rule.text,
+            "metric": self.rule.metric,
+            "op": self.rule.op,
+            "threshold": self.rule.threshold,
+            "value": self.value,
+            "ok": self.ok,
+        }
+
+
+def parse_rule(text: str) -> SloRule:
+    """Parse ``"qoe_p50 >= 70"`` into an :class:`SloRule`."""
+    stripped = text.split("#", 1)[0].strip()
+    for op, _fn in _OPS:
+        if op in stripped:
+            left, _, right = stripped.partition(op)
+            metric = left.strip()
+            try:
+                threshold = float(right.strip())
+            except ValueError:
+                raise ValueError(
+                    f"bad SLO threshold in {text!r}: {right.strip()!r}"
+                ) from None
+            if not metric:
+                raise ValueError(f"bad SLO rule (no metric): {text!r}")
+            return SloRule(metric=metric, op=op, threshold=threshold)
+    raise ValueError(
+        f"bad SLO rule {text!r}: expected '<metric> <op> <number>' "
+        f"with op one of {[op for op, _ in _OPS]}"
+    )
+
+
+def parse_spec(lines: list[str] | tuple[str, ...]) -> list[SloRule]:
+    """Parse a spec: one rule per line; blanks and ``#`` comments skip."""
+    rules = []
+    for line in lines:
+        stripped = line.split("#", 1)[0].strip()
+        if stripped:
+            rules.append(parse_rule(stripped))
+    return rules
+
+
+def _dig(doc: Any, path: str) -> float | None:
+    node = doc
+    for part in path.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    if isinstance(node, bool) or not isinstance(node, (int, float)):
+        return None
+    return float(node)
+
+
+def flatten_metrics(artifact: dict[str, Any]) -> dict[str, float]:
+    """Metric name -> value view of one artifact.
+
+    Includes every alias that resolves, plus derived ratios
+    (``completed_ratio``, ``delivered_ratio``) when the artifact
+    carries session counts. Rule evaluation falls back to dotted
+    paths for anything not precomputed here.
+    """
+    out: dict[str, float] = {}
+    for alias in sorted(METRIC_ALIASES):
+        for path in METRIC_ALIASES[alias]:
+            value = _dig(artifact, path)
+            if value is not None:
+                out[alias] = value
+                break
+    sessions = _dig(artifact, "sessions")
+    if sessions:
+        completed = _dig(artifact, "completed")
+        if completed is not None:
+            out["completed_ratio"] = completed / sessions
+        delivered = _dig(artifact, "delivered")
+        if delivered is not None:
+            out["delivered_ratio"] = delivered / sessions
+    return out
+
+
+def _resolve(metric: str, flat: dict[str, float],
+             artifact: dict[str, Any]) -> float | None:
+    if metric in flat:
+        return flat[metric]
+    return _dig(artifact, metric)
+
+
+def evaluate(rules: list[SloRule],
+             artifact: dict[str, Any]) -> list[SloCheck]:
+    """Check every rule; a missing metric fails its rule.
+
+    Failing closed on absent metrics is deliberate: an SLO that
+    silently passes because the run stopped reporting the metric is
+    worse than a red gate.
+    """
+    flat = flatten_metrics(artifact)
+    checks = []
+    for rule in rules:
+        value = _resolve(rule.metric, flat, artifact)
+        if value is None:
+            checks.append(SloCheck(rule=rule, value=None, ok=False))
+            continue
+        fn = dict(_OPS)[rule.op]
+        checks.append(SloCheck(rule=rule, value=value,
+                               ok=bool(fn(value, rule.threshold))))
+    return checks

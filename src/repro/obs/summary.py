@@ -133,6 +133,47 @@ def _fault_table(events: list[TraceEvent]) -> list[list]:
     return rows
 
 
+#: shared-delivery + admission kinds (the service-side activity row)
+SERVICE_KINDS = ("admission.accept", "admission.block",
+                 "sflow.open", "sflow.join", "sflow.start",
+                 "sflow.carrier", "sflow.finish",
+                 "bcast.start", "bcast.carrier", "bcast.join",
+                 "bcast.stop")
+
+
+def _service_table(events: list[TraceEvent]) -> list[list]:
+    """Admission + shared-delivery activity with headline values."""
+    counts: dict[str, int] = {}
+    carrier_bytes = 0
+    batch_sizes: list[int] = []
+    waits: list[float] = []
+    for e in events:
+        if e.kind not in SERVICE_KINDS:
+            continue
+        counts[e.kind] = counts.get(e.kind, 0) + 1
+        if e.kind in ("sflow.carrier", "bcast.carrier"):
+            carrier_bytes += int(e.args.get("bytes", 0))
+        elif e.kind == "sflow.start":
+            batch_sizes.append(int(e.args.get("subscribers", 0)))
+        elif e.kind == "bcast.join":
+            waits.append(float(e.args.get("wait_s", 0.0)))
+    rows = [[kind, counts[kind], "-"] for kind in sorted(counts)]
+    accepts = counts.get("admission.accept", 0)
+    blocks = counts.get("admission.block", 0)
+    if accepts or blocks:
+        rows.append(["admission.blocking_prob", accepts + blocks,
+                     f"{blocks / (accepts + blocks):.3f}"])
+    if carrier_bytes:
+        rows.append(["carrier_bytes", carrier_bytes, "-"])
+    if batch_sizes:
+        rows.append(["sflow.batch_mean", len(batch_sizes),
+                     f"{sum(batch_sizes) / len(batch_sizes):.2f}"])
+    if waits:
+        rows.append(["bcast.wait_mean_s", len(waits),
+                     f"{sum(waits) / len(waits):.3f}"])
+    return rows
+
+
 def _qoe_table(events: list[TraceEvent]) -> list[list]:
     from repro.obs.qoe import score_sessions
 
@@ -189,6 +230,13 @@ def summarize_trace(events: list[TraceEvent], top: int = 12) -> list[dict]:
             "title": "Faults and recovery",
             "headers": ["kind", "count", "value"],
             "rows": faults,
+        })
+    service = _service_table(events)
+    if service:
+        sections.append({
+            "title": "Admission and shared delivery",
+            "headers": ["kind", "count", "value"],
+            "rows": service,
         })
     lifecycle = _lifecycle_table(events)
     if lifecycle:

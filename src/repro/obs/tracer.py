@@ -52,6 +52,16 @@ kind                      emitted by
 ``recovery.detect``       watchdog noticed a crash (after detect delay)
 ``recovery.stream``       stream failed over (``t_recover_s``, target)
 ``recovery.failed``       stream could not be restored (``reason``)
+``admission.accept``      connection admitted (contract, reserved bps)
+``admission.block``       connection refused by admission control
+``sflow.open``/``.join``  shared-flow batch opened / viewer joined
+``sflow.start``           batch closed; master transmission begins
+``sflow.carrier``         one origin→fan-out carrier frame shipped
+``sflow.finish``          master transmission completed (frame count)
+``bcast.start``           periodic broadcast channels spawned
+``bcast.carrier``         one broadcast carrier packet shipped
+``bcast.join``            viewer tuned in (``wait_s`` startup wait)
+``bcast.stop``            broadcaster stopped (viewers, carrier bytes)
 ========================  =====================================================
 
 Frame-lifecycle correlation: data-path events carry ``session`` and a

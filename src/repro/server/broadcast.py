@@ -201,6 +201,12 @@ class PeriodicBroadcaster:
                     dst_port=self._sink_port,
                 )
                 self.carrier_bytes += CARRIER_PACKET_BYTES
+                if sim._tracing:
+                    sim._tracer.emit(
+                        sim.now, "bcast.carrier", self.object_path,
+                        node=self.ms.node_id, segment=ch.segment,
+                        bytes=CARRIER_PACKET_BYTES,
+                    )
                 self.network.send(pkt)
             yield sim.timeout(interval)
 
@@ -268,6 +274,12 @@ class PeriodicBroadcaster:
         return finished
 
     def stop(self) -> None:
+        if self.sim._tracing:
+            self.sim._tracer.emit(
+                self.sim.now, "bcast.stop", self.object_path,
+                node=self.ms.node_id, viewers=self.viewers_served,
+                carrier_bytes=self.carrier_bytes,
+            )
         for proc in self._channel_procs:
             if proc.is_alive:
                 proc.interrupt("broadcast stopped")

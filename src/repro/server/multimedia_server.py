@@ -174,6 +174,14 @@ class MultimediaServer:
                 min_bw_bps=min_bw_bps,
             )
         )
+        if self.sim._tracing:
+            kind = ("admission.accept" if result.admitted
+                    else "admission.block")
+            self.sim._tracer.emit(
+                self.sim.now, kind, self.name, session=session_id,
+                contract=user.contract.name, required_bps=required_bw_bps,
+                reserved_bps=result.reserved_bw_bps,
+            )
         if not result.admitted:
             return result, None
         session = ServedSession(

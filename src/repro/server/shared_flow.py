@@ -171,6 +171,13 @@ class SharedFlow:
                 self._send_carrier(frame)
                 self.frames_sent += 1
             yield sim.timeout(interval)
+        if sim._tracing:
+            sim._tracer.emit(
+                sim.now, "sflow.finish", self.stream_id,
+                node=self.ms.node_id, fanout=self.fanout_node,
+                frames=self.frames_sent,
+                carrier_packets=self.carrier_packets,
+            )
         self.finished.succeed(self.frames_sent)
         self._teardown()
 
@@ -193,6 +200,12 @@ class SharedFlow:
             frame_seq=frame.seq,
         )
         self.carrier_packets += 1
+        if self.sim._tracing:
+            self.sim._tracer.emit(
+                self.sim.now, "sflow.carrier", self.stream_id,
+                node=self.ms.node_id, seq=frame.seq,
+                bytes=pkt.size_bytes,
+            )
         self.network.send(pkt)
 
     def _fan_out(self, pkt: Packet) -> None:
