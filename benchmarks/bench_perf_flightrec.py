@@ -1,0 +1,128 @@
+"""Flight-recorder overhead benchmark.
+
+The flight recorder's promise is "always on": attaching one to a
+production-shaped population run must cost <5% wall time versus
+running with tracing disabled entirely. The two-tier guard
+(``sim._tracing_detail``) is what makes this possible — a
+``detail=False`` tracer never sees the per-packet firehose, only the
+~1% control-plane tier.
+
+Run standalone for a timing table:
+
+    PYTHONPATH=src python benchmarks/bench_perf_flightrec.py
+
+or through pytest:
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_perf_flightrec.py -q
+
+Set ``OBS_BENCH_SMOKE=1`` (CI) to shrink the workload and relax the
+threshold for noisy shared runners.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.core.config import EngineConfig
+from repro.core.engine import ServiceEngine
+from repro.core.experiments import av_markup
+from repro.obs import FlightRecorder
+
+SMOKE = os.environ.get("OBS_BENCH_SMOKE", "") not in ("", "0")
+#: max tolerated slowdown of flight-recorded vs tracing-disabled
+THRESHOLD = 0.25 if SMOKE else 0.05
+REPEATS = 3 if SMOKE else 9
+N_CLIENTS = 2 if SMOKE else 3
+DURATION_S = 2.0 if SMOKE else 4.0
+
+
+def population_run(tracer=None) -> int:
+    """One ``population_clean``-shaped run; returns completed count."""
+    eng = ServiceEngine(EngineConfig(seed=11), tracer=tracer)
+    eng.add_server(
+        "srv1",
+        documents={"doc": (av_markup(DURATION_S, True), "bench")},
+    )
+    pop = eng.orchestrator.run_population(
+        N_CLIENTS, "srv1", "doc", stagger_s=0.4
+    )
+    return len(pop.completed())
+
+
+def best_of(fn, repeats: int = REPEATS) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def measure() -> tuple[float, float]:
+    """(tracing disabled, flight recorder attached) best-of wall times."""
+    population_run()  # warm-up outside timing
+    disabled = best_of(lambda: population_run(None))
+    recorded = best_of(lambda: population_run(FlightRecorder()))
+    return disabled, recorded
+
+
+# -- pytest entry points ------------------------------------------------------
+
+def test_flight_recorder_overhead_under_threshold():
+    disabled, recorded = measure()
+    overhead = recorded / disabled - 1.0
+    assert overhead < THRESHOLD, (
+        f"flight recorder costs {overhead:.1%} on a population run "
+        f"(disabled {disabled * 1e3:.1f} ms, "
+        f"recorded {recorded * 1e3:.1f} ms)"
+    )
+
+
+def test_flight_recorder_captures_control_plane_only():
+    recorder = FlightRecorder(max_events=100_000)
+    completed = population_run(recorder)
+    assert completed == N_CLIENTS
+    kinds = {e.kind for e in recorder.ring}
+    # Control-plane lifecycle events are present...
+    assert "session" in kinds
+    assert "admission.accept" in kinds
+    # ...while the detail-tier firehose never reached the recorder.
+    assert "kernel.event" not in kinds
+    assert "link.enqueue" not in kinds
+    assert "rtp.recv" not in kinds
+
+
+def test_flight_recorder_ring_is_bounded():
+    recorder = FlightRecorder(max_events=16)
+    population_run(recorder)
+    assert len(recorder.ring) == 16
+    assert recorder.dropped_events > 0
+
+
+# -- standalone report --------------------------------------------------------
+
+def main() -> int:
+    from repro.analysis import render_table
+
+    disabled, recorded = measure()
+    recorder = FlightRecorder()
+    population_run(recorder)
+    print(render_table(
+        f"Flight recorder overhead (threshold {THRESHOLD:.0%}, "
+        f"{'smoke' if SMOKE else 'full'} mode)",
+        ["workload", "disabled_ms", "recorded_ms", "overhead",
+         "ring_events"],
+        [[
+            f"population x{N_CLIENTS}",
+            f"{disabled * 1e3:.1f}",
+            f"{recorded * 1e3:.1f}",
+            f"{(recorded / disabled - 1.0) * 100:+.1f}%",
+            len(recorder.ring),
+        ]],
+    ))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

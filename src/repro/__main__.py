@@ -25,7 +25,19 @@ Usage:
     python -m repro chaos [--scenario crash] [--smoke]
                                       # fault-injection run: scheduled
                                       # crashes/flaps/partitions with
-                                      # failover + retry defences
+                                      # failover + retry defences;
+                                      # --flight-dump FILE captures the
+                                      # flight-recorder window around
+                                      # the first injected fault
+    python -m repro trend [--history DIR ...] [--artifact FILE ...]
+                                      # judge the newest artifact of
+                                      # each scenario against its
+                                      # history (median + MAD bands);
+                                      # exit 1 on any regression
+    python -m repro report --artifact FILE [--out FILE.md]
+                                      # one markdown dashboard: QoE,
+                                      # service, time-series plots,
+                                      # SLO status, trend verdicts
     python -m repro lint --self --scenarios
                                       # static analysis: determinism
                                       # linter over src/repro + HML
@@ -397,6 +409,7 @@ def _slo(args: list[str], report: Reporter) -> int:
     spec_file: str | None = None
     rules_text: list[str] = []
     smoke = False
+    flight_dump: str | None = None
     i = 0
     while i < len(args):
         a = args[i]
@@ -420,11 +433,18 @@ def _slo(args: list[str], report: Reporter) -> int:
             rules_text.append(args[i])
         elif a == "--smoke":
             smoke = True
+        elif a == "--flight-dump":
+            i += 1
+            flight_dump = args[i]
         elif a in ("-h", "--help"):
             report.text(
                 "usage: python -m repro slo (--artifact FILE | "
                 "--scenario NAME | --chaos NAME) [--smoke] "
-                "[--spec KEY] [--spec-file FILE] [--rule 'metric op N']...")
+                "[--spec KEY] [--spec-file FILE] "
+                "[--rule 'metric op N']... [--flight-dump FILE]")
+            report.text(
+                "--flight-dump (with --chaos) captures the flight-"
+                "recorder window on fault injection or SLO violation")
             report.text(f"shipped specs: {', '.join(sorted(DEFAULT_SLOS))}")
             return 0
         else:
@@ -437,6 +457,10 @@ def _slo(args: list[str], report: Reporter) -> int:
         report.text("slo needs exactly one of --artifact / --scenario / "
                     "--chaos (see --help)")
         return 2
+    if flight_dump is not None and chaos is None:
+        report.text("--flight-dump needs a live --chaos run")
+        return 2
+    chaos_run = None
 
     if artifact_path is not None:
         with open(artifact_path, encoding="utf-8") as fh:
@@ -457,7 +481,9 @@ def _slo(args: list[str], report: Reporter) -> int:
     else:
         from repro.faults.scenarios import run_chaos
 
-        artifact = run_chaos(chaos, smoke=smoke).artifact
+        chaos_run = run_chaos(chaos, smoke=smoke,
+                              flight_dump=flight_dump)
+        artifact = chaos_run.artifact
         default_key = "chaos"
 
     rules = []
@@ -491,6 +517,17 @@ def _slo(args: list[str], report: Reporter) -> int:
     if isinstance(service, dict) and service:
         report.service_report(service)
     violations = [c for c in checks if not c.ok]
+    recorder = (chaos_run.flight_recorder if chaos_run is not None
+                else None)
+    if recorder is not None:
+        # A fault may already have dumped; otherwise a violated gate
+        # is itself the incident worth forensics.
+        if violations and not recorder.last_dump:
+            recorder.dump(trigger="slo.violation")
+        if recorder.last_dump:
+            report.value("flight_dump", recorder.last_dump["path"])
+            report.value("flight_dump_trigger",
+                         recorder.last_dump["trigger"])
     report.value("violations", len(violations))
     return 1 if violations else 0
 
@@ -513,6 +550,8 @@ def _chaos(args: list[str], report: Reporter) -> int:
     min_delivered: float | None = None
     min_completed: float | None = None
     out_path: str | None = None
+    flight_dump: str | None = None
+    flight_window_s = 30.0
     i = 0
     while i < len(args):
         a = args[i]
@@ -542,12 +581,19 @@ def _chaos(args: list[str], report: Reporter) -> int:
         elif a == "--out":
             i += 1
             out_path = args[i]
+        elif a == "--flight-dump":
+            i += 1
+            flight_dump = args[i]
+        elif a == "--flight-window":
+            i += 1
+            flight_window_s = float(args[i])
         elif a in ("-h", "--help"):
             report.text(
                 "usage: python -m repro chaos [--scenario NAME] [--smoke] "
                 "[--seed N] [--clients N] [--no-recovery] [--no-retry] "
                 "[--check-determinism] [--min-delivered FRAC] "
-                "[--min-completed FRAC] [--out FILE]")
+                "[--min-completed FRAC] [--out FILE] "
+                "[--flight-dump FILE] [--flight-window SECONDS]")
             report.text(f"scenarios: {', '.join(sorted(CHAOS_SCENARIOS))}")
             return 0
         else:
@@ -556,7 +602,9 @@ def _chaos(args: list[str], report: Reporter) -> int:
         i += 1
 
     run = run_chaos(name, smoke=smoke, seed=seed, n_clients=n_clients,
-                    recovery=recovery, retry=retry)
+                    recovery=recovery, retry=retry,
+                    flight_dump=flight_dump,
+                    flight_window_s=flight_window_s)
     a = run.artifact
     report.table(
         f"Chaos run — {name}" + (" (smoke)" if smoke else ""),
@@ -581,6 +629,19 @@ def _chaos(args: list[str], report: Reporter) -> int:
     if out_path:
         report.artifact(f"chaos:{name}", out_path, a)
     failed = False
+    if flight_dump is not None:
+        dump = a.get("flight_dump") or {}
+        if dump:
+            report.value("flight_dump", dump.get("path"))
+            report.value("flight_dump_events", dump.get("events"))
+            report.value("flight_dump_trigger", dump.get("trigger"))
+        elif a.get("faults", {}).get("faults"):
+            # Faults were scheduled but no trigger fired the recorder —
+            # the crash forensics the caller asked for don't exist.
+            report.value("failure",
+                         "flight recorder never dumped despite a "
+                         "non-empty fault plan")
+            failed = True
     if check_det:
         same, d1, d2 = check_determinism(name, smoke=smoke, seed=seed)
         report.value("deterministic", same)
@@ -605,6 +666,163 @@ def _chaos(args: list[str], report: Reporter) -> int:
                 f"completed {frac:.2f} < required {min_completed:.2f}")
             failed = True
     return 1 if failed else 0
+
+
+def _trend(args: list[str], report: Reporter) -> int:
+    """``trend`` subcommand: newest run vs history, exit 1 on regress."""
+    import os
+
+    from repro.obs.trend import (
+        analyze_group,
+        group_history,
+        load_history,
+        sparkline,
+    )
+
+    history_paths: list[str] = []
+    artifact_paths: list[str] = []
+    threshold: float | None = None
+    perf_threshold: float | None = None
+    i = 0
+    while i < len(args):
+        a = args[i]
+        if a == "--history":
+            i += 1
+            history_paths.append(args[i])
+        elif a == "--artifact":
+            i += 1
+            artifact_paths.append(args[i])
+        elif a == "--threshold":
+            i += 1
+            threshold = float(args[i])
+        elif a == "--perf-threshold":
+            i += 1
+            perf_threshold = float(args[i])
+        elif a in ("-h", "--help"):
+            report.text(
+                "usage: python -m repro trend [--history DIR|FILE ...] "
+                "[--artifact FILE ...] [--threshold F] "
+                "[--perf-threshold F]")
+            report.text(
+                "--history defaults to benchmarks/history; --artifact "
+                "files are appended as the newest point of their group.")
+            return 0
+        else:
+            report.text(f"unknown trend option {a!r}")
+            return 2
+        i += 1
+
+    if not history_paths:
+        default_dir = os.path.join("benchmarks", "history")
+        if os.path.isdir(default_dir):
+            history_paths.append(default_dir)
+    # --artifact files load after the history so they land as the
+    # newest (judged) point of their scenario group.
+    history = load_history(history_paths + artifact_paths)
+    if not history:
+        report.text("no artifacts found; pass --history DIR and/or "
+                    "--artifact FILE (see --help)")
+        return 2
+
+    kwargs: dict[str, float] = {}
+    if threshold is not None:
+        kwargs["threshold"] = threshold
+    if perf_threshold is not None:
+        kwargs["perf_threshold"] = perf_threshold
+    regressions = 0
+    rows = []
+    for (name, smoke), docs in sorted(group_history(history).items()):
+        label = name + (" (smoke)" if smoke else "")
+        for row in analyze_group(docs, **kwargs):
+            rows.append([
+                label, row.metric, sparkline(row.values),
+                f"{row.median:g}", f"{row.last:g}", row.verdict,
+            ])
+            if row.verdict == "regressed":
+                regressions += 1
+                report.value("regression", f"{label}: {row.detail}")
+    report.table(
+        "Trend verdicts (newest vs median ± MAD band)",
+        ["scenario", "metric", "history", "median", "last", "verdict"],
+        rows,
+    )
+    report.value("regressions", regressions)
+    return 1 if regressions else 0
+
+
+def _report(args: list[str], report: Reporter) -> int:
+    """``report`` subcommand: markdown dashboard for one artifact."""
+    import json
+
+    from repro.obs.slo import DEFAULT_SLOS, evaluate, parse_spec
+    from repro.obs.trend import (
+        analyze_group,
+        group_history,
+        load_history,
+        render_markdown_report,
+    )
+
+    artifact_path: str | None = None
+    out_path: str | None = None
+    history_paths: list[str] = []
+    i = 0
+    while i < len(args):
+        a = args[i]
+        if a == "--artifact":
+            i += 1
+            artifact_path = args[i]
+        elif a == "--out":
+            i += 1
+            out_path = args[i]
+        elif a == "--history":
+            i += 1
+            history_paths.append(args[i])
+        elif a in ("-h", "--help"):
+            report.text(
+                "usage: python -m repro report --artifact FILE "
+                "[--out FILE.md] [--history DIR|FILE ...]")
+            return 0
+        elif artifact_path is None and not a.startswith("-"):
+            artifact_path = a
+        else:
+            report.text(f"unknown report option {a!r}")
+            return 2
+        i += 1
+    if artifact_path is None:
+        report.text("report needs an artifact: python -m repro report "
+                    "--artifact BENCH_x.json [--out report.md]")
+        return 2
+
+    with open(artifact_path, encoding="utf-8") as fh:
+        artifact = json.load(fh)
+
+    spec_key = artifact.get("scenario") or artifact.get("name")
+    if artifact.get("schema") == "repro.chaos":
+        spec_key = "chaos"
+    spec = DEFAULT_SLOS.get(spec_key or "")
+    slo_checks = evaluate(parse_spec(spec), artifact) if spec else None
+
+    trend_rows = None
+    if history_paths:
+        history = load_history(history_paths)
+        key = (str(artifact.get("scenario") or artifact.get("name")
+                   or "?"), bool(artifact.get("smoke")))
+        docs = group_history(history).get(key, [])
+        docs.append(artifact)
+        trend_rows = analyze_group(docs)
+
+    markdown = render_markdown_report(artifact, trend_rows=trend_rows,
+                                      slo_checks=slo_checks)
+    if out_path:
+        with open(out_path, "w", encoding="utf-8") as fh:
+            fh.write(markdown + "\n")
+        report.value("report_path", out_path)
+    else:
+        report.text(markdown)
+    if slo_checks:
+        report.value("slo_violations",
+                     sum(1 for c in slo_checks if not c.ok))
+    return 0
 
 
 def _lint(args: list[str], report: Reporter) -> int:
@@ -682,6 +900,10 @@ def main(argv: list[str] | None = None) -> int:
             return _profile(args[1:], report)
         if cmd == "slo":
             return _slo(args[1:], report)
+        if cmd == "trend":
+            return _trend(args[1:], report)
+        if cmd == "report":
+            return _report(args[1:], report)
         if cmd == "lint":
             return _lint(args[1:], report)
         if cmd == "run":

@@ -52,6 +52,7 @@ class PlayoutEventLog:
         self._tracer = None
         self._session = ""
         self._tracing = False
+        self._tracing_detail = False
 
     def set_tracer(self, tracer, session: str = "") -> None:
         """Forward playout events to a structured tracer.
@@ -66,6 +67,9 @@ class PlayoutEventLog:
         self._session = session
         self._tracing = tracer is not None and bool(
             getattr(tracer, "enabled", False)
+        )
+        self._tracing_detail = self._tracing and bool(
+            getattr(tracer, "detail", True)
         )
 
     def record(
@@ -82,8 +86,13 @@ class PlayoutEventLog:
             PlayoutEvent(time=time, stream_id=stream_id, kind=kind,
                          media_time_s=media_time_s, grade=grade)
         )
-        if self._tracing and (kind is not PlayoutEventKind.FRAME
-                              or frame_seq is not None):
+        if self._tracing:
+            # Per-frame events are detail-tier: skipped for
+            # control-plane tracers (flight recorder) and for legacy
+            # callers that don't supply the frame id.
+            if kind is PlayoutEventKind.FRAME and (
+                    not self._tracing_detail or frame_seq is None):
+                return
             extra: dict[str, object] = {}
             if frame_seq is not None:
                 extra["frame"] = frame_seq

@@ -148,16 +148,16 @@ class PresentationScheduler:
 
         def sink(frame: Frame, _arrival_s: float) -> None:
             accepted = buf.push(frame)
-            if sim._tracing:
-                if accepted:
+            if accepted:
+                if sim._tracing_detail:
                     sim._tracer.emit(sim.now, "buffer.push", stream_id,
                                      session=self.trace_session,
                                      frame=frame.seq,
                                      occupancy_s=buf.occupancy_s)
-                else:
-                    sim._tracer.emit(sim.now, "buffer.drop", stream_id,
-                                     session=self.trace_session,
-                                     frame=frame.seq, reason="overflow")
+            elif sim._tracing:
+                sim._tracer.emit(sim.now, "buffer.drop", stream_id,
+                                 session=self.trace_session,
+                                 frame=frame.seq, reason="overflow")
 
         return sink
 

@@ -89,6 +89,10 @@ class ServiceEngine:
         self._watchdogs: dict[str, Any] = {}
         #: fleet telemetry (None until attach_service_monitor)
         self._service_monitor = None
+        #: trajectory telemetry (None until attach_timeseries)
+        self._timeseries_sampler = None
+        #: live (unclosed) client compositions, for buffer sampling
+        self.compositions: list["ClientComposition"] = []
         self._build_backbone()
 
     # -- topology -----------------------------------------------------------
@@ -385,6 +389,26 @@ class ServiceEngine:
         """The attached :class:`ServiceMonitor`, or ``None``."""
         return self._service_monitor
 
+    def attach_timeseries(self, interval_s: float = 0.25):
+        """Start fixed-interval trajectory sampling (idempotent).
+
+        Like :meth:`attach_service_monitor`, the sampler ticks on the
+        simulated clock; population runs pick the series up
+        automatically (``PopulationResult.timeseries``).
+        """
+        if self._timeseries_sampler is None:
+            from repro.obs.timeseries import TimeSeriesSampler
+
+            self._timeseries_sampler = TimeSeriesSampler(
+                self, interval_s=interval_s)
+            self._timeseries_sampler.start()
+        return self._timeseries_sampler
+
+    @property
+    def timeseries_sampler(self):
+        """The attached :class:`TimeSeriesSampler`, or ``None``."""
+        return self._timeseries_sampler
+
     def add_media_replica(self, server_name: str, primary_media: str,
                           replica_name: str | None = None,
                           region: str | None = None) -> MediaServer:
@@ -530,6 +554,7 @@ class ClientComposition:
             )
             self._discrete_rx.append(rx)
             self.discrete_ports[sid] = port
+        engine.compositions.append(self)
 
     def set_tracer(self, tracer, session: str = "") -> None:
         """Wire a tracer (with session attribution) through the
@@ -574,6 +599,8 @@ class ClientComposition:
         if self._closed:
             return
         self._closed = True
+        if self in self.engine.compositions:
+            self.engine.compositions.remove(self)
         self.qos.stop()
         node = self.network.node(self.client_node)
         for sid in sorted(self.receivers):

@@ -72,6 +72,9 @@ class PopulationResult:
     #: fleet-level ServiceReport dict; filled when the engine has a
     #: service monitor attached (empty otherwise)
     service: dict[str, Any] = field(default_factory=dict)
+    #: sampled TimeSeries dict; filled when the engine has a
+    #: timeseries sampler attached (empty otherwise)
+    timeseries: dict[str, Any] = field(default_factory=dict)
 
     def aggregate_metrics(self) -> dict[str, int]:
         """Sum the per-session event-count snapshots across outcomes."""
@@ -131,8 +134,9 @@ class PopulationResult:
     def to_dict(self) -> dict:
         """Full JSON-serializable form (for determinism digests).
 
-        ``service`` joins the dict only when a monitor produced one,
-        so digests of monitor-less runs match pre-telemetry builds.
+        ``service`` and ``timeseries`` join the dict only when their
+        samplers produced one, so digests of monitor-less runs match
+        pre-telemetry builds.
         """
         doc = {
             "outcomes": [
@@ -152,6 +156,8 @@ class PopulationResult:
         }
         if self.service:
             doc["service"] = self.service
+        if self.timeseries:
+            doc["timeseries"] = self.timeseries
         return doc
 
     def by_client(self) -> dict[str, list[SessionOutcome]]:
@@ -513,6 +519,9 @@ class SessionOrchestrator:
         monitor = getattr(self.engine, "service_monitor", None)
         if monitor is not None:
             result.service = monitor.report().to_dict()
+        sampler = getattr(self.engine, "timeseries_sampler", None)
+        if sampler is not None:
+            result.timeseries = sampler.series.to_dict()
         return result
 
     # -- autoplay ------------------------------------------------------------

@@ -311,11 +311,15 @@ class Simulator:
         self._heap: list[tuple[float, int, Event]] = []
         self._seq = itertools.count()
         self._running = False
-        # Tracing is opt-in: `_tracing` is the single boolean every
-        # instrumented hot path guards on, so a sim without a tracer
-        # pays one attribute check per hook point.
+        # Tracing is opt-in and two-tier: `_tracing` guards
+        # control-plane emits (faults, admission, drops, spans);
+        # `_tracing_detail` guards the per-packet/per-frame firehose
+        # and is True only when the tracer also declares
+        # ``detail = True``. A sim without a tracer pays one
+        # attribute check per hook point either way.
         self._tracer = None
         self._tracing = False
+        self._tracing_detail = False
 
     @property
     def now(self) -> float:
@@ -342,6 +346,9 @@ class Simulator:
         self._tracer = tracer
         self._tracing = tracer is not None and bool(
             getattr(tracer, "enabled", False)
+        )
+        self._tracing_detail = self._tracing and bool(
+            getattr(tracer, "detail", True)
         )
 
     # -- construction helpers -----------------------------------------
@@ -386,7 +393,7 @@ class Simulator:
         """Process the single next event."""
         time, _, event = heapq.heappop(self._heap)
         self._now = time
-        if self._tracing:
+        if self._tracing_detail:
             self._tracer.emit(time, "kernel.event",
                               type(event).__name__)
         # Timeouts trigger at their fire instant (succeed()/fail() set

@@ -173,6 +173,9 @@ class ChaosRun:
     population: Any
     digest: str
     artifact: dict[str, Any] = field(default_factory=dict)
+    #: the FlightRecorder when ``flight_dump`` was requested — lets
+    #: callers trigger a post-run dump (e.g. on an SLO violation)
+    flight_recorder: Any = None
 
 
 def run_chaos(
@@ -185,12 +188,20 @@ def run_chaos(
     recovery: bool = True,
     retry: bool | None = None,
     trace: bool = True,
+    flight_dump: str | None = None,
+    flight_window_s: float = 30.0,
 ) -> ChaosRun:
     """Run one chaos scenario end to end and return its results.
 
     ``recovery=False`` and ``retry=False`` disable the corresponding
     defence while keeping the identical fault schedule — the control
     arm of the experiment.
+
+    ``flight_dump`` wraps the run's tracer in a
+    :class:`~repro.obs.flightrec.FlightRecorder` that auto-dumps the
+    trailing ``flight_window_s`` sim-seconds of events to that path
+    on the first injected fault; the dump metadata lands in the
+    artifact under ``flight_dump``.
     """
     from repro.core.config import EngineConfig
     from repro.core.engine import ServiceEngine
@@ -210,6 +221,13 @@ def run_chaos(
     use_retry = scenario.retry if retry is None else retry
 
     tracer = RecordingTracer() if trace else None
+    recorder = None
+    if flight_dump is not None:
+        from repro.obs.flightrec import FlightRecorder
+
+        recorder = FlightRecorder(inner=tracer, dump_path=flight_dump,
+                                  window_s=flight_window_s)
+        tracer = recorder
     layers = None
     if scenario.topology == "cdn":
         from repro.net import cdn_stack
@@ -222,6 +240,7 @@ def run_chaos(
         documents={"doc": (chaos_markup(duration), "chaos")},
     )
     eng.attach_service_monitor()
+    eng.attach_timeseries()
     if scenario.replica:
         eng.add_media_replica("srv1", "media")
     plan = build_plan(name, n_clients=n, stagger_s=scenario.stagger_s,
@@ -267,10 +286,14 @@ def run_chaos(
         }
     if pop.service:
         artifact["service"] = pop.service
+    if pop.timeseries:
+        artifact["timeseries"] = pop.timeseries
     if trace:
         artifact["qoe"] = pop.qoe_summary()
+    if recorder is not None:
+        artifact["flight_dump"] = dict(recorder.last_dump)
     return ChaosRun(scenario=name, population=pop, digest=digest,
-                    artifact=artifact)
+                    artifact=artifact, flight_recorder=recorder)
 
 
 def check_determinism(name: str = "crash", *, smoke: bool = True,

@@ -98,7 +98,7 @@ class GilbertElliottLoss:
             if self.in_bad != was_bad:
                 sim._tracer.emit(sim.now, "impair.state", self.name,
                                  state="bad" if self.in_bad else "good")
-            if lost:
+            if lost and sim._tracing_detail:
                 sim._tracer.emit(sim.now, "impair.loss", self.name,
                                  state="bad" if self.in_bad else "good",
                                  flow=flow, seq=seq, session=session,

@@ -112,7 +112,7 @@ class Link:
             return False
         try:
             self.queue.put_nowait(pkt)
-            if self.sim._tracing:
+            if self.sim._tracing_detail:
                 self.sim._tracer.emit(self.sim.now, "link.enqueue",
                                       self.name, depth=self.queue.level,
                                       flow=pkt.flow_id, seq=pkt.seq,
@@ -149,7 +149,7 @@ class Link:
         if self.loss_model is not None and (
             self.loss_model.is_lost(flow=pkt.flow_id, seq=pkt.seq,
                                     session=pkt.session, frame=pkt.frame_seq)
-            if self.sim._tracing
+            if self.sim._tracing_detail
             else self.loss_model.is_lost()
         ):
             self.stats.loss_drops += 1

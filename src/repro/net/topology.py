@@ -185,7 +185,7 @@ class Network:
         if pkt.src == pkt.dst:
             # Loopback: deliver immediately.
             self.tap.record(self.sim.now, "deliver", pkt)
-            if self.sim._tracing:
+            if self.sim._tracing_detail:
                 self.sim._tracer.emit(self.sim.now, "net.deliver",
                                       node=pkt.dst, port=pkt.dst_port,
                                       hops=0, flow=pkt.flow_id, seq=pkt.seq,
@@ -210,7 +210,7 @@ class Network:
         def arrive(pkt: Packet, _dst: str = link.dst) -> None:
             if _dst == pkt.dst:
                 self.tap.record(self.sim.now, "deliver", pkt)
-                if self.sim._tracing:
+                if self.sim._tracing_detail:
                     self.sim._tracer.emit(self.sim.now, "net.deliver",
                                           node=_dst, port=pkt.dst_port,
                                           hops=pkt.hops, flow=pkt.flow_id,

@@ -27,6 +27,10 @@ from repro.obs.export import (
     write_chrome_trace,
     write_jsonl,
 )
+from repro.obs.flightrec import (
+    DEFAULT_TRIGGER_KINDS,
+    FlightRecorder,
+)
 from repro.obs.lifecycle import (
     FrameSpan,
     correlate_frames,
@@ -65,13 +69,32 @@ from repro.obs.slo import (
     flatten_metrics,
     parse_rule,
     parse_spec,
+    timeseries_metrics,
 )
 from repro.obs.summary import summarize_trace
+from repro.obs.timeseries import (
+    TIMESERIES_SCHEMA,
+    TIMESERIES_SCHEMA_VERSION,
+    TimeSeries,
+    TimeSeriesSampler,
+)
 from repro.obs.tracer import RecordingTracer, TraceEvent, Tracer
+from repro.obs.trend import (
+    TREND_METRICS,
+    TrendMetric,
+    TrendRow,
+    analyze_group,
+    group_history,
+    load_history,
+    render_markdown_report,
+    sparkline,
+)
 
 __all__ = [
     "Counter",
     "DEFAULT_SLOS",
+    "DEFAULT_TRIGGER_KINDS",
+    "FlightRecorder",
     "FrameSpan",
     "Gauge",
     "Histogram",
@@ -88,23 +111,36 @@ __all__ = [
     "SessionQoE",
     "SloCheck",
     "SloRule",
+    "TIMESERIES_SCHEMA",
+    "TIMESERIES_SCHEMA_VERSION",
     "TRACE_SCHEMA",
     "TRACE_SCHEMA_VERSION",
+    "TREND_METRICS",
+    "TimeSeries",
+    "TimeSeriesSampler",
     "TraceEvent",
     "Tracer",
+    "TrendMetric",
+    "TrendRow",
+    "analyze_group",
     "correlate_frames",
     "evaluate",
     "flatten_metrics",
+    "group_history",
     "hop_latency_summary",
+    "load_history",
     "log_buckets",
     "parse_rule",
     "parse_spec",
     "qoe_summary",
     "read_chrome_trace",
     "read_jsonl",
+    "render_markdown_report",
     "score_session",
     "score_sessions",
+    "sparkline",
     "summarize_trace",
+    "timeseries_metrics",
     "to_chrome_trace",
     "write_chrome_trace",
     "write_jsonl",

@@ -127,6 +127,7 @@ def _run_once(scenario: BenchScenario, n_clients: int, duration_s: float,
         documents={"doc": (av_markup(duration_s, with_images), "bench")},
     )
     eng.attach_service_monitor()
+    eng.attach_timeseries()
     if profiler is not None:
         profiler.install(eng.sim)
     t0 = time.perf_counter()  # lint: allow(det-wall-clock)
@@ -147,6 +148,7 @@ def _run_once(scenario: BenchScenario, n_clients: int, duration_s: float,
         "qoe": pop.qoe_summary(),
         "origin_egress_bytes": _media_egress_bytes(eng),
         "service": pop.service,
+        "timeseries": pop.timeseries,
     }
 
 
@@ -176,6 +178,7 @@ def run_scenario(scenario: BenchScenario, smoke: bool = False,
         "schema": BENCH_SCHEMA,
         "version": BENCH_SCHEMA_VERSION,
         "name": scenario.name,
+        "scenario": scenario.name,
         "description": scenario.description,
         "smoke": smoke,
         "seed": scenario.seed,
@@ -200,7 +203,11 @@ def run_scenario(scenario: BenchScenario, smoke: bool = False,
         artifact.update(_run_once(scenario, n_clients, duration_s,
                                   shared_flows=False, profiler=profiler))
     if profiler is not None:
-        artifact["profile"] = profiler.to_artifact(scenario.name)
+        artifact["profile"] = profiler.to_artifact(
+            scenario.name,
+            extra={"scenario": scenario.name, "seed": scenario.seed,
+                   "smoke": smoke},
+        )
     return artifact
 
 

@@ -111,7 +111,7 @@ class KernelProfiler:
         when, _, event = heapq.heappop(sim._heap)
         sim._now = when
         kind = type(event).__name__
-        if sim._tracing:
+        if sim._tracing_detail:
             sim._tracer.emit(when, "kernel.event", kind)
         event._triggered = True
         callbacks, event.callbacks = event.callbacks, None

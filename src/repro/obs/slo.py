@@ -24,8 +24,8 @@ from dataclasses import dataclass
 from typing import Any
 
 __all__ = ["SloRule", "SloCheck", "parse_rule", "parse_spec",
-           "flatten_metrics", "evaluate", "DEFAULT_SLOS",
-           "METRIC_ALIASES"]
+           "flatten_metrics", "timeseries_metrics", "evaluate",
+           "DEFAULT_SLOS", "METRIC_ALIASES"]
 
 #: comparison operators, longest first so ``<=`` wins over ``<``
 _OPS: tuple[tuple[str, Any], ...] = (
@@ -63,6 +63,7 @@ DEFAULT_SLOS: dict[str, tuple[str, ...]] = {
         "completed_ratio >= 0.95",
         "blocking_prob <= 0.05",
         "time_to_recover_p95 <= 2.0",
+        "peak_link_utilization <= 0.9",  # transient saturation guard
     ),
     "population_lossy": (
         "qoe_p50 >= 40",
@@ -74,12 +75,16 @@ DEFAULT_SLOS: dict[str, tuple[str, ...]] = {
         "completed_ratio >= 0.95",
         "blocking_prob <= 0.05",
         "egress_reduction >= 2.0",
+        "peak_link_utilization <= 0.9",
+        "max_queue_depth <= 10000",  # event-queue blow-up guard
     ),
     "chaos": (
         "delivered_ratio >= 0.75",
         "blocking_prob <= 0.05",
         "time_to_recover_p95 <= 2.0",
         "streams_lost <= 0",
+        "peak_link_utilization <= 0.9",
+        "max_queue_depth <= 10000",
     ),
 }
 
@@ -182,6 +187,50 @@ def flatten_metrics(artifact: dict[str, Any]) -> dict[str, float]:
         delivered = _dig(artifact, "delivered")
         if delivered is not None:
             out["delivered_ratio"] = delivered / sessions
+    out.update(timeseries_metrics(artifact))
+    return out
+
+
+def timeseries_metrics(artifact: dict[str, Any]) -> dict[str, float]:
+    """Peaks derived from the artifact's ``timeseries`` trajectory.
+
+    End-of-run means hide transient saturation; these read the
+    sampled series so a rule like ``peak_link_utilization <= 0.9``
+    catches a brief hot interval. Empty when the artifact carries no
+    time series (pre-PR-8 baselines age gracefully; rules naming
+    these metrics then fail closed, as always).
+    """
+    ts = artifact.get("timeseries")
+    if not isinstance(ts, dict):
+        return {}
+    columns = ts.get("columns", {})
+
+    def _values(name: str) -> list[float]:
+        # canonical_json (digest serialization) stringifies floats,
+        # so coerce on the way in.
+        raw = (columns.get(name) or {}).get("values") or ()
+        return [float(v) for v in raw]
+
+    def peak(name: str) -> float | None:
+        values = _values(name)
+        return max(values) if values else None
+
+    out: dict[str, float] = {}
+    util = peak("link_utilization")
+    if util is not None:
+        out["peak_link_utilization"] = util
+    depth = peak("event_queue_depth")
+    if depth is not None:
+        out["max_queue_depth"] = depth
+    # Population-wide concurrency: sum the per-server stream levels
+    # tick-wise, then take the peak tick.
+    stream_cols = [_values(name) for name in columns
+                   if name.startswith("streams.")]
+    if stream_cols:
+        ticks = max(len(v) for v in stream_cols)
+        out["peak_concurrent_streams"] = max(
+            (sum(v[i] for v in stream_cols if i < len(v))
+             for i in range(ticks)), default=0.0)
     return out
 
 

@@ -67,10 +67,29 @@ kind                      emitted by
 Frame-lifecycle correlation: data-path events carry ``session`` and a
 ``frame`` arg (the frame's per-stream seq), letting
 :mod:`repro.obs.lifecycle` join a frame's journey across layers.
+
+Detail vs control tier
+----------------------
+
+Emit sites are split into two volume tiers. The *detail* tier is the
+per-packet/per-frame firehose — ``kernel.event``, ``link.enqueue``,
+``net.deliver``, ``rtp.send``/``.recv``/``.frame``, ``buffer.push``,
+``playout.frame``, ``impair.loss``, ``sflow.carrier`` and
+``bcast.carrier`` — together ~99% of all events on a population run.
+Those sites guard on ``sim._tracing_detail``, which is True only when
+the installed tracer declares ``detail = True`` (the
+:class:`RecordingTracer` default). Everything else — faults,
+admission, QoS grades, drops, recovery, spans — is the *control*
+tier, guarded on ``sim._tracing`` alone. A low-overhead tracer such
+as the flight recorder sets ``detail = False`` and receives only the
+control tier, so the hot path stays dark while incident-relevant
+events still flow.
 """
 
 from __future__ import annotations
 
+import warnings
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -96,9 +115,14 @@ class Tracer:
     ``enabled`` is the contract with instrumentation sites: they may
     skip argument construction entirely when it is False, so a
     subclass that wants events must set it True.
+
+    ``detail`` opts a tracer in to the per-packet/per-frame tier (see
+    the module docstring). Tracers that only need control-plane
+    events set it False and pay near-zero overhead on hot paths.
     """
 
     enabled: bool = False
+    detail: bool = True
 
     def emit(self, time: float, kind: str, name: str = "", *,
              session: str = "", node: str = "",
@@ -125,9 +149,11 @@ class RecordingTracer(Tracer):
     reconciles with the registry snapshot — the invariant the
     observability tests assert.
 
-    ``max_events`` bounds memory on very long runs: past the cap,
-    events still count in the registry but are no longer retained
-    (``dropped_events`` says how many were shed).
+    ``max_events`` bounds memory on very long runs: past the cap the
+    tracer warns once and degrades to ring-buffer retention — the
+    *oldest* events are shed so the tail of the run stays inspectable
+    (``dropped_events`` says how many were evicted). Events always
+    count in the registry regardless of retention.
     """
 
     enabled = True
@@ -136,10 +162,13 @@ class RecordingTracer(Tracer):
                  max_events: int | None = None) -> None:
         from repro.obs.metrics import MetricsRegistry
 
-        self.events: list[TraceEvent] = []
+        # A plain list until max_events is hit, then a bounded deque
+        # (ring) of the same capacity.
+        self.events: "list[TraceEvent] | deque[TraceEvent]" = []
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.max_events = max_events
         self.dropped_events = 0
+        self._cap_warned = False
 
     def _record(self, event: TraceEvent) -> None:
         self.metrics.counter("trace_events", kind=event.kind).inc()
@@ -147,8 +176,17 @@ class RecordingTracer(Tracer):
             self.metrics.counter("session_events", session=event.session,
                                  kind=event.kind).inc()
         if self.max_events is not None and len(self.events) >= self.max_events:
+            if not self._cap_warned:
+                self._cap_warned = True
+                warnings.warn(
+                    f"RecordingTracer hit max_events={self.max_events}; "
+                    "degrading to ring-buffer retention (oldest events "
+                    "dropped). Use FlightRecorder for always-on capture.",
+                    RuntimeWarning, stacklevel=4)
+                # Swap the unbounded list for a ring of the same
+                # capacity; from here on appends evict the oldest.
+                self.events = deque(self.events, maxlen=self.max_events)
             self.dropped_events += 1
-            return
         self.events.append(event)
 
     def emit(self, time: float, kind: str, name: str = "", *,

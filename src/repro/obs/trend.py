@@ -1,0 +1,335 @@
+"""Trend analytics over artifact histories, plus the markdown dashboard.
+
+``python -m repro bench`` compares one run against one baseline; this
+module reads the whole *trajectory* — a directory of BENCH_* /
+PROFILE_* / CHAOS_* artifacts in chronological order — and judges the
+newest point against the robust spread of its history. Per metric:
+
+* the history (every point but the newest) yields a median and a MAD
+  (median absolute deviation — outlier-proof, unlike stddev);
+* the tolerance band is ``max(3 * 1.4826 * MAD, floor * |median|)``
+  where the relative floor is the bench regression threshold (10%
+  deterministic, 50% wall-clock — same constants as
+  ``compare_to_baseline``), so an all-identical deterministic history
+  (MAD 0) still tolerates small drift instead of flagging noise;
+* the newest point regresses when it leaves the band in the metric's
+  bad direction (``higher`` metrics flag drops, ``lower`` metrics
+  flag rises, ``stable`` metrics flag both).
+
+``python -m repro trend`` renders the verdicts as a sparkline table
+and exits 1 on any regression; ``python -m repro report`` combines
+QoE, ServiceReport, time-series plots, SLO status and trend verdicts
+into one markdown dashboard.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.obs.bench import DEFAULT_PERF_THRESHOLD, DEFAULT_THRESHOLD
+from repro.obs.slo import flatten_metrics
+
+__all__ = ["TrendMetric", "TrendRow", "TREND_METRICS", "load_history",
+           "group_history", "analyze_group", "sparkline",
+           "render_markdown_report"]
+
+#: MAD -> sigma-equivalent scale for normally distributed noise
+_MAD_SCALE = 1.4826
+#: how many robust sigmas of drift the band tolerates
+_BAND_SIGMAS = 3.0
+
+_SPARK_GLYPHS = "▁▂▃▄▅▆▇█"
+
+
+@dataclass(slots=True, frozen=True)
+class TrendMetric:
+    """One tracked metric: where it lives and which drift is bad."""
+
+    name: str
+    #: "higher" = drop is a regression; "lower" = rise is;
+    #: "stable" = any departure from the band is
+    direction: str = "higher"
+    #: "det" metrics use the tight relative floor, "perf" the loose
+    #: one (wall-clock noise across machines)
+    kind: str = "det"
+
+
+#: the standard trajectory metrics, resolved via ``flatten_metrics``
+TREND_METRICS: tuple[TrendMetric, ...] = (
+    TrendMetric("completed_ratio", direction="higher"),
+    TrendMetric("delivered_ratio", direction="higher"),
+    TrendMetric("qoe_p50", direction="higher"),
+    TrendMetric("events", direction="stable"),
+    TrendMetric("origin_egress_bytes", direction="stable"),
+    TrendMetric("peak_link_utilization", direction="lower"),
+    TrendMetric("max_queue_depth", direction="lower"),
+    TrendMetric("events_per_sec", direction="higher", kind="perf"),
+)
+
+
+@dataclass(slots=True)
+class TrendRow:
+    """Verdict for one metric over one artifact group."""
+
+    metric: str
+    values: list[float] = field(default_factory=list)
+    median: float = 0.0
+    band: float = 0.0
+    last: float = 0.0
+    #: "ok" | "regressed" | "insufficient" (fewer than 2 points)
+    verdict: str = "insufficient"
+    detail: str = ""
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "metric": self.metric,
+            "n": len(self.values),
+            "median": self.median,
+            "band": self.band,
+            "last": self.last,
+            "verdict": self.verdict,
+            "detail": self.detail,
+        }
+
+
+# -- history loading ---------------------------------------------------------
+
+def load_history(paths: list[str]) -> list[dict[str, Any]]:
+    """Load artifacts from files and/or directories, oldest first.
+
+    Directories contribute their ``*.json`` files in name order —
+    the convention is zero-padded sequence names
+    (``BENCH_x.000.json`` < ``BENCH_x.001.json``), so lexicographic
+    order *is* chronological. Non-artifact JSON (no recognised
+    schema) is skipped.
+    """
+    files: list[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            files.extend(
+                os.path.join(path, entry)
+                for entry in sorted(os.listdir(path))
+                if entry.endswith(".json")
+            )
+        else:
+            files.append(path)
+    history = []
+    for file in files:
+        with open(file, encoding="utf-8") as fh:
+            doc = json.load(fh)
+        if isinstance(doc, dict) and isinstance(doc.get("schema"), str):
+            doc["_path"] = file
+            history.append(doc)
+    return history
+
+
+def group_history(history: list[dict[str, Any]]
+                  ) -> dict[tuple[str, bool], list[dict[str, Any]]]:
+    """Split a history into comparable groups.
+
+    Runs compare only within the same scenario at the same scale:
+    the key is ``(scenario-or-name, smoke)``. Order within each
+    group preserves the input (chronological) order.
+    """
+    groups: dict[tuple[str, bool], list[dict[str, Any]]] = {}
+    for doc in history:
+        name = doc.get("scenario") or doc.get("name") or "?"
+        key = (str(name), bool(doc.get("smoke")))
+        groups.setdefault(key, []).append(doc)
+    return groups
+
+
+# -- analysis ----------------------------------------------------------------
+
+def _median(values: list[float]) -> float:
+    ordered = sorted(values)
+    n = len(ordered)
+    mid = n // 2
+    if n % 2:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+def analyze_group(artifacts: list[dict[str, Any]],
+                  metrics: tuple[TrendMetric, ...] = TREND_METRICS,
+                  threshold: float = DEFAULT_THRESHOLD,
+                  perf_threshold: float = DEFAULT_PERF_THRESHOLD,
+                  ) -> list[TrendRow]:
+    """Judge the newest artifact against its history, per metric.
+
+    Metrics absent from every artifact in the group are skipped
+    (star topologies have no ``egress_reduction``; pre-time-series
+    baselines have no ``peak_link_utilization``).
+    """
+    flats = [flatten_metrics(doc) for doc in artifacts]
+    rows: list[TrendRow] = []
+    for metric in metrics:
+        values = [flat[metric.name] for flat in flats
+                  if metric.name in flat]
+        if not values:
+            continue
+        row = TrendRow(metric=metric.name, values=values,
+                       last=values[-1])
+        if len(values) < 2:
+            row.median = values[-1]
+            row.detail = "needs >= 2 comparable runs"
+            rows.append(row)
+            continue
+        history = values[:-1]
+        med = _median(history)
+        mad = _median([abs(v - med) for v in history])
+        floor = threshold if metric.kind == "det" else perf_threshold
+        band = max(_BAND_SIGMAS * _MAD_SCALE * mad, floor * abs(med))
+        row.median = med
+        row.band = band
+        delta = values[-1] - med
+        bad = (
+            (metric.direction == "higher" and delta < -band)
+            or (metric.direction == "lower" and delta > band)
+            or (metric.direction == "stable" and abs(delta) > band)
+        )
+        row.verdict = "regressed" if bad else "ok"
+        if bad:
+            row.detail = (
+                f"last {values[-1]:g} vs median {med:g} "
+                f"(band ±{band:g}, direction {metric.direction})"
+            )
+        rows.append(row)
+    return rows
+
+
+# -- rendering ---------------------------------------------------------------
+
+def sparkline(values: list[float], width: int = 24) -> str:
+    """A unicode mini-plot of a series, downsampled to ``width``."""
+    if not values:
+        return ""
+    if len(values) > width:
+        # Max-of-bucket keeps transient spikes visible when shrinking.
+        step = len(values) / width
+        values = [
+            max(values[int(i * step):max(int(i * step) + 1,
+                                         int((i + 1) * step))])
+            for i in range(width)
+        ]
+    lo, hi = min(values), max(values)
+    span = hi - lo
+    if span <= 0:
+        return _SPARK_GLYPHS[0] * len(values)
+    return "".join(
+        _SPARK_GLYPHS[min(len(_SPARK_GLYPHS) - 1,
+                          int((v - lo) / span * len(_SPARK_GLYPHS)))]
+        for v in values
+    )
+
+
+def _md_table(headers: list[str], rows: list[list[Any]]) -> list[str]:
+    lines = ["| " + " | ".join(str(h) for h in headers) + " |",
+             "|" + "|".join(" --- " for _ in headers) + "|"]
+    lines.extend("| " + " | ".join(str(c) for c in row) + " |"
+                 for row in rows)
+    return lines
+
+
+def render_markdown_report(artifact: dict[str, Any],
+                           trend_rows: list[TrendRow] | None = None,
+                           slo_checks: list[Any] | None = None) -> str:
+    """One markdown dashboard for one artifact.
+
+    Sections (each only when the artifact carries the data): run
+    header, QoE summary, service report highlights, time-series
+    sparklines, SLO status, trend verdicts.
+    """
+    name = artifact.get("scenario") or artifact.get("name") or "run"
+    lines = [f"# Run report — {name}", ""]
+    facts = [
+        ("schema", artifact.get("schema")),
+        ("seed", artifact.get("seed")),
+        ("clients", artifact.get("clients")),
+        ("duration_s", artifact.get("duration_s")),
+        ("smoke", artifact.get("smoke")),
+        ("completed", artifact.get("completed")),
+        ("sessions", artifact.get("sessions")),
+    ]
+    lines.extend(_md_table(["key", "value"],
+                           [[k, v] for k, v in facts if v is not None]))
+    lines.append("")
+
+    qoe = artifact.get("qoe") or {}
+    score = qoe.get("score") or {}
+    if score:
+        lines.extend(["## QoE", ""])
+        lines.extend(_md_table(
+            ["metric", "p50", "p95"],
+            [[key,
+              f"{(qoe.get(key) or {}).get('p50', 0.0):.2f}",
+              f"{(qoe.get(key) or {}).get('p95', 0.0):.2f}"]
+             for key in ("score", "startup_s", "stall_time_s")
+             if isinstance(qoe.get(key), dict)],
+        ))
+        lines.append("")
+
+    service = artifact.get("service") or {}
+    if service.get("servers"):
+        lines.extend(["## Service", ""])
+        lines.extend(_md_table(
+            ["media server", "region", "mean streams", "peak"],
+            [[srv, entry.get("region", "?"),
+              f"{entry.get('mean_streams', 0.0):.2f}",
+              entry.get("peak_streams", 0)]
+             for srv, entry in sorted(service["servers"].items())],
+        ))
+        admission = service.get("admission") or {}
+        if admission.get("requests"):
+            lines.append("")
+            lines.append(
+                f"Admission: {admission.get('admitted', 0)} admitted, "
+                f"{admission.get('rejected', 0)} rejected "
+                f"(blocking {admission.get('blocking_prob', 0.0):.4f})"
+            )
+        lines.append("")
+
+    ts = artifact.get("timeseries") or {}
+    columns = ts.get("columns") or {}
+    if columns:
+        lines.extend([
+            "## Time series",
+            "",
+            f"interval {ts.get('interval_s')}s · {ts.get('ticks')} ticks",
+            "",
+        ])
+        rows = []
+        for col in sorted(columns):
+            values = [float(v) for v in columns[col].get("values", ())]
+            peak = max(values) if values else 0.0
+            rows.append([f"`{col}`", sparkline(values), f"{peak:g}"])
+        lines.extend(_md_table(["column", "trajectory", "peak"], rows))
+        lines.append("")
+
+    if slo_checks:
+        lines.extend(["## SLO", ""])
+        lines.extend(_md_table(
+            ["rule", "value", "status"],
+            [[check.rule.text,
+              "missing" if check.value is None else f"{check.value:g}",
+              "ok" if check.ok else "**VIOLATED**"]
+             for check in slo_checks],
+        ))
+        lines.append("")
+
+    if trend_rows:
+        lines.extend(["## Trend", ""])
+        lines.extend(_md_table(
+            ["metric", "history", "median", "last", "verdict"],
+            [[row.metric, sparkline(row.values), f"{row.median:g}",
+              f"{row.last:g}",
+              "**REGRESSED**" if row.verdict == "regressed"
+              else row.verdict]
+             for row in trend_rows],
+        ))
+        lines.append("")
+
+    return "\n".join(lines)

@@ -100,7 +100,7 @@ class RtpSender:
             self.packet_count += 1
             self.octet_count += frag_bytes
             sent_bytes += frag_bytes
-        if self.sim._tracing:
+        if self.sim._tracing_detail:
             self.sim._tracer.emit(self.sim.now, "rtp.send", self.stream_id,
                                   session=self.session, frame=frame.seq,
                                   media_time=frame.media_time, seq0=seq0,
@@ -211,7 +211,7 @@ class RtpReceiver:
         st.delay_sum_s += delay
         st.delay_samples += 1
         self.jitter.observe(now, rtp.timestamp)
-        if self.sim._tracing:
+        if self.sim._tracing_detail:
             self.sim._tracer.emit(now, "rtp.recv", self.stream_id,
                                   session=pkt.session or self.session,
                                   frame=pkt.frame_seq, seq=rtp.seq,
@@ -222,7 +222,7 @@ class RtpReceiver:
         if seen == rtp.fragment_count and rtp.marker:
             self._frag_seen.pop(rtp.timestamp, None)
             st.frames_received += 1
-            if self.sim._tracing:
+            if self.sim._tracing_detail:
                 self.sim._tracer.emit(
                     now, "rtp.frame", self.stream_id,
                     session=pkt.session or self.session,

@@ -201,7 +201,7 @@ class PeriodicBroadcaster:
                     dst_port=self._sink_port,
                 )
                 self.carrier_bytes += CARRIER_PACKET_BYTES
-                if sim._tracing:
+                if sim._tracing_detail:
                     sim._tracer.emit(
                         sim.now, "bcast.carrier", self.object_path,
                         node=self.ms.node_id, segment=ch.segment,

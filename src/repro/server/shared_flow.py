@@ -200,7 +200,7 @@ class SharedFlow:
             frame_seq=frame.seq,
         )
         self.carrier_packets += 1
-        if self.sim._tracing:
+        if self.sim._tracing_detail:
             self.sim._tracer.emit(
                 self.sim.now, "sflow.carrier", self.stream_id,
                 node=self.ms.node_id, seq=frame.seq,

@@ -1,0 +1,128 @@
+"""Flight recorder: ring bounds, triggers, dumps, tracer delegation."""
+
+import pytest
+
+from repro.core.config import EngineConfig
+from repro.core.engine import ServiceEngine
+from repro.core.experiments import av_markup
+from repro.faults.scenarios import run_chaos
+from repro.obs import read_jsonl, summarize_trace
+from repro.obs.flightrec import DEFAULT_TRIGGER_KINDS, FlightRecorder
+from repro.obs.tracer import RecordingTracer
+
+
+def test_ring_is_bounded_and_counts_drops():
+    rec = FlightRecorder(max_events=3)
+    for t in range(5):
+        rec.emit(float(t), "session", "s")
+    assert len(rec.ring) == 3
+    assert [e.time for e in rec.ring] == [2.0, 3.0, 4.0]
+    assert rec.dropped_events == 2
+
+
+def test_skip_kinds_filters_before_the_ring():
+    rec = FlightRecorder(skip_kinds=("noise",))
+    rec.emit(0.0, "noise", "x")
+    rec.emit(1.0, "session", "s")
+    assert [e.kind for e in rec.ring] == ["session"]
+
+
+def test_window_keeps_trailing_span_only():
+    rec = FlightRecorder(window_s=2.0)
+    for t in (0.0, 5.0, 8.5, 9.0, 10.0):
+        rec.emit(t, "session", "s")
+    assert [e.time for e in rec.window()] == [8.5, 9.0, 10.0]
+    assert [e.time for e in rec.window(0.5)] == [10.0]
+
+
+def test_standalone_recorder_stays_on_control_tier():
+    assert FlightRecorder().detail is False
+    # Wrapping inherits the inner tracer's tier so its recording
+    # keeps full fidelity.
+    assert FlightRecorder(inner=RecordingTracer()).detail is True
+
+
+def test_explicit_dump_roundtrips_through_trace_tooling(tmp_path):
+    rec = FlightRecorder()
+    rec.emit(1.0, "session", "open", session="s1")
+    rec.emit(2.0, "admission.accept", "srv1", session="s1")
+    path = rec.dump(str(tmp_path / "dump.jsonl"))
+    events = read_jsonl(path)
+    assert [e.kind for e in events] == ["session", "admission.accept"]
+    assert any(summarize_trace(events))
+    assert rec.last_dump["trigger"] == "manual"
+    assert rec.last_dump["events"] == 2
+
+
+def test_dump_without_path_raises():
+    with pytest.raises(ValueError):
+        FlightRecorder().dump()
+
+
+def test_wrapped_tracer_sees_everything_and_delegates(tmp_path):
+    inner = RecordingTracer()
+    rec = FlightRecorder(inner=inner, max_events=50)
+    eng = ServiceEngine(EngineConfig(seed=7), tracer=rec)
+    eng.add_server("srv1",
+                   documents={"doc": (av_markup(1.0, False), "t")})
+    pop = eng.orchestrator.run_population(1, "srv1", "doc")
+    assert len(pop.completed()) == 1
+    # The inner tracer recorded the full firehose...
+    assert inner.kind_counts().get("rtp.recv", 0) > 0
+    # ...and attribute access falls through to it (metrics registry,
+    # event list), making the wrapper drop-in for a RecordingTracer.
+    assert rec.metrics is inner.metrics
+    assert rec.events is inner.events
+    # QoE scoring reads the tracer through the orchestrator unchanged.
+    assert pop.qoe_summary()["sessions"] == 1
+
+
+def test_unwrapped_recorder_has_no_inner_surface():
+    rec = FlightRecorder()
+    with pytest.raises(AttributeError):
+        rec.kind_counts
+    assert getattr(rec, "metrics", None) is None
+
+
+def test_chaos_crash_auto_dumps_fault_window(tmp_path):
+    """The acceptance path: crash run dumps a parseable fault window."""
+    dump = str(tmp_path / "FLIGHT_crash.jsonl")
+    run = run_chaos("crash", smoke=True, flight_dump=dump,
+                    flight_window_s=30.0)
+    meta = run.artifact["flight_dump"]
+    assert meta["path"] == dump
+    assert meta["trigger"] in DEFAULT_TRIGGER_KINDS
+    events = read_jsonl(dump)
+    assert len(events) == meta["events"] > 0
+    # The injected fault is inside the dumped window...
+    assert any(e.kind == "fault.crash" for e in events)
+    # ...the window honours its span...
+    times = [e.time for e in events]
+    assert max(times) - min(times) <= 30.0
+    # ...and the standard summarizer parses the dump unchanged.
+    sections = summarize_trace(events)
+    assert any(s["title"].startswith("Top event kinds")
+               for s in sections)
+
+
+def test_slo_violation_triggers_dump_via_cli(tmp_path, capsys):
+    from repro.__main__ import main
+
+    dump = tmp_path / "FLIGHT_slo.jsonl"
+    # Scenario "none" injects no faults; the violated rule is the
+    # only incident, and it must still produce forensics.
+    assert main(["slo", "--chaos", "none", "--smoke",
+                 "--flight-dump", str(dump),
+                 "--rule", "qoe_p50 >= 101"]) == 1
+    assert "slo.violation" in capsys.readouterr().out
+    assert read_jsonl(str(dump))
+
+
+def test_auto_dump_fires_once_per_run(tmp_path):
+    rec = FlightRecorder(dump_path=str(tmp_path / "d.jsonl"),
+                         trigger_kinds=("fault.link",))
+    rec.emit(1.0, "fault.link", "router")
+    first = dict(rec.last_dump)
+    rec.emit(2.0, "fault.link", "router")
+    assert rec.last_dump == first
+    assert first["trigger"] == "fault.link"

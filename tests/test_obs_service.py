@@ -76,6 +76,58 @@ def test_histogram_merge_does_not_mutate_operands():
             list(b.bucket_counts)) == before
 
 
+def test_histogram_merge_with_empty_is_identity():
+    a, empty = _hist([0.5, 2.0, 40.0]), _hist([])
+    for merged in (a.merge(empty), empty.merge(a)):
+        assert merged.bucket_counts == a.bucket_counts
+        assert merged.summary() == a.summary()
+        assert merged.percentiles() == a.percentiles()
+
+
+# -- Histogram.quantile / percentiles edge cases ------------------------------
+
+def test_quantile_of_empty_histogram_is_zero():
+    h = Histogram()
+    assert h.quantile(0.5) == 0.0
+    assert h.percentiles() == {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+
+
+def test_quantile_rejects_out_of_range():
+    h = _hist([1.0])
+    with pytest.raises(ValueError):
+        h.quantile(-0.1)
+    with pytest.raises(ValueError):
+        h.quantile(1.5)
+
+
+def test_quantile_single_observation_is_exact_everywhere():
+    h = _hist([0.7])
+    for q in (0.0, 0.25, 0.5, 0.95, 1.0):
+        assert h.quantile(q) == pytest.approx(0.7)
+
+
+def test_quantile_single_bucket_clamps_to_observed_range():
+    # Many observations landing in one bucket: interpolation stays
+    # inside [min, max], exact at the extremes.
+    h = _hist([0.42, 0.45, 0.48])
+    assert h.quantile(0.0) >= h.min
+    assert h.quantile(1.0) == pytest.approx(h.max)
+    for q in (0.1, 0.5, 0.9):
+        assert h.min <= h.quantile(q) <= h.max
+
+
+def test_quantile_overflow_bucket_reports_observed_max():
+    bounds = (1.0, float("inf"))
+    h = _hist([50.0, 900.0], bounds=bounds)
+    assert h.quantile(0.99) == pytest.approx(900.0)
+
+
+def test_percentiles_custom_quantiles_keys():
+    h = _hist([1.0, 2.0, 3.0])
+    out = h.percentiles((0.5, 0.9))
+    assert set(out) == {"p50", "p90"}
+
+
 # -- ServiceReport: merge laws ------------------------------------------------
 
 def _report(seed):
@@ -94,6 +146,16 @@ def test_service_report_merge_associative():
     left = a.merge(b).merge(c)
     right = a.merge(b.merge(c))
     assert canonical_json(left.to_dict()) == canonical_json(right.to_dict())
+
+
+def test_service_report_three_way_merge_is_order_free():
+    # Every shard arrival order yields the identical fleet rollup.
+    shards = (_report(23), _report(31), _report(47))
+    docs = set()
+    for perm in itertools.permutations(shards):
+        merged = perm[0].merge(perm[1]).merge(perm[2])
+        docs.add(canonical_json(merged.to_dict()))
+    assert len(docs) == 1
 
 
 def test_service_report_merge_adds_counters_and_maxes_peaks():

@@ -1,0 +1,247 @@
+"""Time-series telemetry: columnar algebra and the DES-clock sampler."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import EngineConfig
+from repro.core.engine import ServiceEngine
+from repro.core.experiments import av_markup
+from repro.obs.timeseries import (
+    TIMESERIES_SCHEMA,
+    Column,
+    TimeSeries,
+    TimeSeriesSampler,
+)
+
+
+# -- building -----------------------------------------------------------------
+
+def test_column_rejects_unknown_ops():
+    with pytest.raises(ValueError):
+        Column(merge="mean")
+    with pytest.raises(ValueError):
+        Column(resample="median")
+
+
+def test_tick_requires_declared_columns():
+    ts = TimeSeries()
+    with pytest.raises(KeyError):
+        ts.tick({"mystery": 1.0})
+
+
+def test_late_column_zero_pads_back_to_tick_zero():
+    ts = TimeSeries()
+    ts.ensure_column("a", merge="sum", resample="sum")
+    ts.tick({"a": 1.0})
+    ts.tick({"a": 2.0})
+    # An edge replica spinning up at tick 2 must not shift history.
+    ts.ensure_column("b", merge="sum", resample="max")
+    ts.tick({"a": 3.0, "b": 5.0})
+    assert ts.values("a") == [1.0, 2.0, 3.0]
+    assert ts.values("b") == [0.0, 0.0, 5.0]
+    # Absent columns in a row record 0.0, not a gap.
+    ts.tick({"b": 7.0})
+    assert ts.values("a") == [1.0, 2.0, 3.0, 0.0]
+    assert ts.peak("b") == 7.0
+    assert ts.total("a") == 6.0
+    assert len(ts) == 4
+
+
+def test_roundtrip_through_dict():
+    ts = TimeSeries(interval_s=0.5)
+    ts.ensure_column("a", merge="sum", resample="sum")
+    ts.ensure_column("b", merge="max", resample="max")
+    ts.tick({"a": 1.0, "b": 2.5})
+    ts.tick({"a": 3.0, "b": 0.5})
+    doc = ts.to_dict()
+    assert doc["schema"] == TIMESERIES_SCHEMA
+    back = TimeSeries.from_dict(doc)
+    assert back.interval_s == ts.interval_s
+    assert back.ticks == ts.ticks
+    assert back.to_dict() == doc
+    with pytest.raises(ValueError):
+        TimeSeries.from_dict({"schema": "repro.bench"})
+
+
+# -- merge / resample algebra (property-style) --------------------------------
+
+# Integer-valued floats keep the sum op bit-exact (float addition is
+# only approximately associative on arbitrary reals; sampler columns
+# are counts/bytes, so this is the honest domain).
+_VALUES = st.lists(st.integers(min_value=0, max_value=10**9)
+                   .map(float), max_size=12)
+
+
+def _series(sum_vals, max_vals):
+    ts = TimeSeries()
+    ts.ensure_column("delta", merge="sum", resample="sum")
+    ts.ensure_column("gauge", merge="max", resample="max")
+    for i in range(max(len(sum_vals), len(max_vals))):
+        ts.tick({
+            "delta": sum_vals[i] if i < len(sum_vals) else 0.0,
+            "gauge": max_vals[i] if i < len(max_vals) else 0.0,
+        })
+    return ts
+
+
+def _flat(ts):
+    return (ts.ticks, {n: list(c.values) for n, c in ts.columns.items()})
+
+
+@settings(max_examples=60, deadline=None)
+@given(_VALUES, _VALUES, _VALUES)
+def test_merge_is_associative_and_commutative(va, vb, vc):
+    a, b, c = _series(va, va), _series(vb, vb), _series(vc, vc)
+    assert _flat(a.merge(b)) == _flat(b.merge(a))
+    assert _flat(a.merge(b).merge(c)) == _flat(a.merge(b.merge(c)))
+    # Fold order doesn't matter either.
+    assert _flat(TimeSeries.merge_all([a, b, c])) == \
+        _flat(TimeSeries.merge_all([c, a, b]))
+
+
+@settings(max_examples=40, deadline=None)
+@given(_VALUES)
+def test_merge_with_empty_is_identity(vals):
+    a = _series(vals, vals)
+    assert _flat(a.merge(TimeSeries())) == _flat(a)
+    assert _flat(TimeSeries().merge(a)) == _flat(a)
+
+
+@settings(max_examples=60, deadline=None)
+@given(_VALUES, st.integers(min_value=1, max_value=4),
+       st.integers(min_value=1, max_value=4))
+def test_resample_composes(vals, fa, fb):
+    ts = _series(vals, vals)
+    once = ts.resample(fa * fb)
+    twice = ts.resample(fa).resample(fb)
+    assert once.interval_s == pytest.approx(twice.interval_s)
+    assert once.ticks == twice.ticks
+    for name in once.columns:
+        assert once.values(name) == pytest.approx(twice.values(name))
+
+
+def test_merge_guards_interval_and_op_conflicts():
+    a, b = TimeSeries(interval_s=0.25), TimeSeries(interval_s=0.5)
+    with pytest.raises(ValueError):
+        a.merge(b)
+    c = TimeSeries()
+    c.ensure_column("x", merge="sum", resample="sum")
+    d = TimeSeries()
+    d.ensure_column("x", merge="max", resample="max")
+    with pytest.raises(ValueError):
+        c.merge(d)
+
+
+# -- the sampler on a live engine ---------------------------------------------
+
+def _clean_run(n_clients, seed=11):
+    eng = ServiceEngine(EngineConfig(seed=seed))
+    eng.add_server("srv1",
+                   documents={"doc": (av_markup(2.0, True), "t")})
+    eng.attach_timeseries(interval_s=0.25)
+    pop = eng.orchestrator.run_population(n_clients, "srv1", "doc",
+                                          stagger_s=0.3)
+    return eng, pop
+
+
+def test_sampler_columns_on_population_run():
+    eng, pop = _clean_run(2)
+    series = eng.timeseries_sampler.series
+    assert series.ticks > 0
+    names = set(series.columns)
+    assert "streams.audsrv" in names
+    assert "streams.vidsrv" in names
+    assert "link_utilization" in names
+    assert "buffer_occupancy_s" in names
+    assert "event_queue_depth" in names
+    assert any(n.startswith("egress_bytes.") for n in names)
+    assert "admit_accepted.srv1" in names
+    assert series.peak("streams.audsrv") == 2.0
+    assert series.total("admit_accepted.srv1") == 2.0
+    assert 0.0 < series.peak("link_utilization") <= 1.0
+    assert series.peak("event_queue_depth") > 0
+    # The trajectory rides the artifact: attached to PopulationResult
+    # and gated on truthiness in to_dict.
+    assert pop.timeseries["schema"] == TIMESERIES_SCHEMA
+    assert "timeseries" in pop.to_dict()
+
+
+def test_sampler_is_deterministic_across_runs():
+    eng_a, _ = _clean_run(2)
+    eng_b, _ = _clean_run(2)
+    assert eng_a.timeseries_sampler.series.to_dict() == \
+        eng_b.timeseries_sampler.series.to_dict()
+
+
+def test_attach_timeseries_is_idempotent():
+    eng = ServiceEngine(EngineConfig(seed=3))
+    s1 = eng.attach_timeseries()
+    s2 = eng.attach_timeseries()
+    assert s1 is s2
+
+
+def test_sharded_population_merges_to_whole():
+    """Two identical half-population shards merge to the doubled fleet.
+
+    Each shard is its own engine (same seed → identical trajectory);
+    the merged series must show sum columns doubled and max columns
+    unchanged — exactly what a sharded population runner relies on.
+    ENGINE_LOCAL columns stay worst-of-shards by construction.
+    """
+    eng_a, _ = _clean_run(2)
+    eng_b, _ = _clean_run(2)
+    shard_a = eng_a.timeseries_sampler.series
+    shard_b = eng_b.timeseries_sampler.series
+    whole = shard_a.merge(shard_b)
+    assert whole.ticks == shard_a.ticks
+    local = set(TimeSeriesSampler.ENGINE_LOCAL) | {"link_utilization"}
+    for name, col in whole.columns.items():
+        base = shard_a.values(name)
+        if col.merge == "sum":
+            assert col.values == pytest.approx([2 * v for v in base])
+        else:
+            assert name in local
+            assert col.values == pytest.approx(base)
+
+
+def test_column_partition_shards_merge_back_to_whole():
+    """Per-server shards of one run merge back to the exact whole.
+
+    ROADMAP sharding splits the fleet so each shard owns a disjoint
+    subset of servers/links; a column absent on a shard contributes
+    zeros on merge, so the reassembled series is bit-identical to
+    the whole-population series of the digest-pinned scenario.
+    """
+    eng, _ = _clean_run(2)
+    whole = eng.timeseries_sampler.series
+    names = sorted(whole.columns)
+
+    def shard(owned):
+        s = TimeSeries(interval_s=whole.interval_s)
+        s.ticks = whole.ticks
+        for n in owned:
+            col = whole.columns[n]
+            s.columns[n] = Column(merge=col.merge,
+                                  resample=col.resample,
+                                  values=list(col.values))
+        return s
+
+    half_a, half_b = shard(names[::2]), shard(names[1::2])
+    assert half_a.merge(half_b).to_dict() == whole.to_dict()
+    assert half_b.merge(half_a).to_dict() == whole.to_dict()
+
+
+def test_series_resamples_after_real_run():
+    eng, _ = _clean_run(2)
+    series = eng.timeseries_sampler.series
+    coarse = series.resample(4)
+    assert coarse.interval_s == pytest.approx(1.0)
+    assert coarse.ticks == (series.ticks + 3) // 4
+    # Deltas are conserved under resampling; gauges keep their peak.
+    for name, col in series.columns.items():
+        if col.resample == "sum":
+            assert sum(coarse.values(name)) == \
+                pytest.approx(sum(col.values))
+        else:
+            assert coarse.peak(name) == pytest.approx(series.peak(name))

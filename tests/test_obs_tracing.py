@@ -4,6 +4,7 @@ the reconciliation invariant across a traced population run."""
 from __future__ import annotations
 
 import json
+import warnings
 
 import pytest
 
@@ -95,13 +96,25 @@ def test_recording_tracer_counts_every_emit():
     assert t.select(kind="link.drop") == t.events[:2]
 
 
-def test_recording_tracer_max_events_sheds_but_still_counts():
+def test_recording_tracer_max_events_degrades_to_ring():
     t = RecordingTracer(max_events=2)
-    for i in range(5):
-        t.emit(float(i), "kernel.event")
+    with pytest.warns(RuntimeWarning, match="max_events=2"):
+        for i in range(5):
+            t.emit(float(i), "kernel.event")
+    # Ring retention: newest events kept, oldest evicted.
     assert len(t.events) == 2
+    assert [e.time for e in t.events] == [3.0, 4.0]
     assert t.dropped_events == 3
     assert t.kind_counts() == {"kernel.event": 5}  # registry sees all
+
+
+def test_recording_tracer_cap_warns_only_once():
+    t = RecordingTracer(max_events=1)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        for i in range(10):
+            t.emit(float(i), "kernel.event")
+    assert sum(issubclass(w.category, RuntimeWarning) for w in caught) == 1
 
 
 # -- exporters ---------------------------------------------------------------
