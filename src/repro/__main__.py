@@ -13,6 +13,14 @@ Usage:
                                       # (BENCH_<name>.json + baseline
                                       # regression check; --profile
                                       # adds kernel attribution)
+    python -m repro bench --clients N --shards K
+                                      # supervised sharded population
+                                      # run (worker processes, retry,
+                                      # partial-result degradation
+                                      # under --tolerate-shard-failures)
+    python -m repro bench --scale-curve [--smoke]
+                                      # sharded scaling curve artifact
+                                      # (events/sec and wall_s vs N)
     python -m repro profile [--scenario NAME] [--smoke]
                                       # DES kernel profiler: hot-spot
                                       # tables, PROFILE_<name>.json and
@@ -55,6 +63,7 @@ from __future__ import annotations
 import sys
 
 from repro.analysis import Reporter
+from repro.ioutil import atomic_write_text
 
 EXPERIMENTS = {
     "e1": ("run_time_window_sweep", "media time window vs quality"),
@@ -225,6 +234,13 @@ def _bench(args: list[str], report: Reporter) -> int:
     threshold = DEFAULT_THRESHOLD
     perf_threshold = DEFAULT_PERF_THRESHOLD
     names: list[str] = []
+    clients: int | None = None
+    shards = 4
+    cell_clients = 8
+    shard_seed = 11
+    duration_s = 6.0
+    tolerate = False
+    scale_curve = False
     i = 0
     while i < len(args):
         a = args[i]
@@ -249,6 +265,25 @@ def _bench(args: list[str], report: Reporter) -> int:
         elif a == "--scenario":
             i += 1
             names.append(args[i])
+        elif a == "--clients":
+            i += 1
+            clients = int(args[i])
+        elif a == "--shards":
+            i += 1
+            shards = int(args[i])
+        elif a == "--cell":
+            i += 1
+            cell_clients = int(args[i])
+        elif a == "--seed":
+            i += 1
+            shard_seed = int(args[i])
+        elif a == "--duration":
+            i += 1
+            duration_s = float(args[i])
+        elif a == "--tolerate-shard-failures":
+            tolerate = True
+        elif a == "--scale-curve":
+            scale_curve = True
         elif a == "--topology":
             i += 1
             topology = args[i]
@@ -267,12 +302,24 @@ def _bench(args: list[str], report: Reporter) -> int:
                 "[--baseline DIR] [--threshold F] [--perf-threshold F] "
                 "[--scenario NAME ...] [--topology star|cdn] "
                 "[--update-baseline]")
+            report.text(
+                "sharded: python -m repro bench --clients N "
+                "[--shards K] [--cell N] [--seed N] [--duration F] "
+                "[--tolerate-shard-failures] | --scale-curve "
+                "[--smoke] [--out DIR]")
             report.text(f"scenarios: {', '.join(sorted(SCENARIOS))}")
             return 0
         else:
             report.text(f"unknown bench option {a!r}")
             return 2
         i += 1
+
+    if clients is not None or scale_curve:
+        return _bench_sharded(
+            report, clients=clients, shards=shards,
+            cell_clients=cell_clients, seed=shard_seed,
+            duration_s=duration_s, tolerate=tolerate,
+            scale_curve=scale_curve, smoke=smoke, out_dir=out_dir)
 
     os.makedirs(out_dir, exist_ok=True)
     artifacts = run_benchmarks(names or None, smoke=smoke,
@@ -320,6 +367,89 @@ def _bench(args: list[str], report: Reporter) -> int:
     for problem in problems:
         report.value("regression", problem)
     return 1 if problems else 0
+
+
+def _shard_lifecycle_table(report: Reporter, shards) -> None:
+    report.table(
+        "Shard lifecycle",
+        ["shard", "cells", "status", "attempts", "retries", "failures"],
+        [[s.shard, len(s.cells), s.status, s.attempts, s.retries,
+          "; ".join(s.failures) or "-"] for s in shards],
+    )
+
+
+def _bench_sharded(report: Reporter, *, clients: int | None,
+                   shards: int, cell_clients: int, seed: int,
+                   duration_s: float, tolerate: bool,
+                   scale_curve: bool, smoke: bool,
+                   out_dir: str) -> int:
+    """Sharded bench paths: one supervised point or the scaling curve."""
+    import os
+
+    from repro.shard.bench import (
+        run_scale_curve,
+        run_sharded,
+        sharded_artifact,
+    )
+    from repro.shard.result import ShardFailure
+
+    os.makedirs(out_dir, exist_ok=True)
+    if scale_curve:
+        artifact = run_scale_curve(
+            n_shards=shards, seed=seed, cell_clients=cell_clients,
+            smoke=smoke, tolerate_failures=tolerate)
+        out_path = os.path.join(out_dir, "BENCH_population_scale.json")
+        report.artifact("artifact:population_scale", out_path, artifact)
+        report.table(
+            "Population scaling curve"
+            + (" (smoke)" if smoke else ""),
+            ["clients", "wall_s", "events/s", "completed",
+             "completeness", "digest"],
+            [[p["clients"], f"{p['wall_s']:.2f}",
+              f"{p['events_per_sec']:.0f}",
+              f"{p['completed']}/{p['sessions']}",
+              f"{p['completeness']:.2f}", p["digest"][:16]]
+             for p in artifact["points"]],
+        )
+        return 0
+
+    assert clients is not None
+    try:
+        result = run_sharded(
+            clients, shards, seed=seed, cell_clients=cell_clients,
+            duration_s=duration_s, tolerate_failures=tolerate)
+    except ShardFailure as exc:
+        result = exc.result
+        report.text(f"sharded run failed: {exc}")
+        _shard_lifecycle_table(report, result.shards)
+        return 1
+
+    artifact = sharded_artifact(result, smoke=smoke,
+                                duration_s=duration_s)
+    out_path = os.path.join(out_dir, "BENCH_population_shard.json")
+    report.artifact("artifact:population_shard", out_path, artifact)
+    qoe = artifact.get("qoe") or {}
+    report.table(
+        "Sharded population" + (" (smoke)" if smoke else ""),
+        ["clients", "shards", "wall_s", "events/s", "completed",
+         "completeness", "qoe_p50", "digest"],
+        [[result.clients, result.n_shards, f"{result.wall_s:.3f}",
+          f"{artifact['events_per_sec']:.0f}",
+          f"{artifact['completed']}/{artifact['sessions']}",
+          f"{result.completeness:.2f}",
+          f"{qoe.get('score', {}).get('p50', 0.0):.1f}",
+          result.digest[:16]]],
+    )
+    _shard_lifecycle_table(report, result.shards)
+    if result.completeness < 1.0:
+        report.value("degraded",
+                     f"partial result: completeness "
+                     f"{result.completeness:.2f}, missing cells "
+                     f"{result.missing_cells}")
+    if result.interrupted:
+        report.value("interrupted", True)
+        return 130
+    return 0
 
 
 def _profile(args: list[str], report: Reporter) -> int:
@@ -372,9 +502,9 @@ def _profile(args: list[str], report: Reporter) -> int:
         report.artifact(f"profile:{name}", out_path, prof)
         collapsed_path = os.path.join(out_dir,
                                       f"PROFILE_{name}.collapsed.txt")
-        with open(collapsed_path, "w", encoding="utf-8") as fh:
-            for line in prof["collapsed_stacks"]:
-                fh.write(line + "\n")
+        atomic_write_text(
+            collapsed_path,
+            "".join(line + "\n" for line in prof["collapsed_stacks"]))
         report.value(f"collapsed:{name}", collapsed_path)
         report.table(
             f"Kernel time by event kind — {name}"
@@ -814,8 +944,7 @@ def _report(args: list[str], report: Reporter) -> int:
     markdown = render_markdown_report(artifact, trend_rows=trend_rows,
                                       slo_checks=slo_checks)
     if out_path:
-        with open(out_path, "w", encoding="utf-8") as fh:
-            fh.write(markdown + "\n")
+        atomic_write_text(out_path, markdown + "\n")
         report.value("report_path", out_path)
     else:
         report.text(markdown)

@@ -13,6 +13,7 @@ import sys
 from typing import Any, Sequence
 
 from repro.analysis.tables import render_table
+from repro.ioutil import atomic_write_json
 
 __all__ = ["Reporter"]
 
@@ -117,9 +118,7 @@ class Reporter:
         files: the artifact lands on disk in both modes, and the path
         is reported like any other value.
         """
-        with open(path, "w", encoding="utf-8") as fh:
-            json.dump(doc, fh, indent=2, sort_keys=True, default=str)
-            fh.write("\n")
+        atomic_write_json(path, doc)
         self.value(key, path)
 
     def close(self) -> None:

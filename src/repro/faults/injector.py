@@ -75,11 +75,22 @@ class FaultInjector:
     def _resolve_media_server(self, server: str, media_server: str):
         """A crash target may be a primary or an edge replica
         (``media@region``) — anywhere the service can serve from."""
-        srv = self.engine.servers[server]
-        for ms in srv.all_media_servers():
+        try:
+            srv = self.engine.servers[server]
+        except KeyError:
+            known = sorted(self.engine.servers)
+            raise ValueError(
+                f"server-crash targets unknown server {server!r}; "
+                f"known servers: {known}") from None
+        candidates = list(srv.all_media_servers())
+        for ms in candidates:
             if ms.name == media_server:
                 return ms
-        return srv.media_server(media_server)  # raises the usual KeyError
+        known = sorted(ms.name for ms in candidates)
+        raise ValueError(
+            f"server-crash targets unknown media server "
+            f"{media_server!r} on {server!r}; known media servers: "
+            f"{known}")
 
     def _check_link(self, src: str, dst: str) -> None:
         links = self.engine.network.links

@@ -9,6 +9,7 @@ identically.
 
 from __future__ import annotations
 
+import math
 from dataclasses import asdict, dataclass, field
 
 __all__ = [
@@ -104,8 +105,52 @@ class FaultPlan:
     def __post_init__(self) -> None:
         object.__setattr__(self, "faults", tuple(self.faults))
         for f in self.faults:
-            if f.at < 0:
-                raise ValueError(f"fault time must be >= 0: {f}")
+            self._validate(f)
+
+    @staticmethod
+    def _validate(f: Fault) -> None:
+        """Reject malformed faults at construction, not mid-run.
+
+        A NaN activation time or a zero-length flap window would not
+        crash the injector — it would silently schedule nonsense (a
+        NaN comparison is always false; a zero-period flap fires all
+        its outages at once) — so the plan refuses them up front with
+        a clear error. Target existence (links, servers) is checked
+        at ``install_faults`` where the topology is known.
+        """
+
+        def positive(name: str, value: float) -> None:
+            if not math.isfinite(value) or value <= 0:
+                raise ValueError(
+                    f"{f.kind}: {name} must be a positive finite "
+                    f"number, got {value!r}: {f}")
+
+        def non_negative(name: str, value: float) -> None:
+            if not math.isfinite(value) or value < 0:
+                raise ValueError(
+                    f"{f.kind}: {name} must be a finite number >= 0, "
+                    f"got {value!r}: {f}")
+
+        non_negative("at", f.at)
+        if isinstance(f, LinkFlapFault):
+            positive("period_s", f.period_s)
+            positive("down_s", f.down_s)
+            if f.count < 1:
+                raise ValueError(
+                    f"{f.kind}: count must be >= 1, got {f.count}: {f}")
+        elif isinstance(f, (LinkDownFault, ControlPartitionFault)):
+            positive("duration_s", f.duration_s)
+        elif isinstance(f, ControlImpairFault):
+            positive("duration_s", f.duration_s)
+            non_negative("delay_s", f.delay_s)
+            non_negative("jitter_s", f.jitter_s)
+            if not 0.0 <= f.drop_prob <= 1.0 or math.isnan(f.drop_prob):
+                raise ValueError(
+                    f"{f.kind}: drop_prob must be in [0, 1], "
+                    f"got {f.drop_prob!r}: {f}")
+        elif isinstance(f, ServerCrashFault):
+            if f.restart_after_s is not None:
+                positive("restart_after_s", f.restart_after_s)
 
     def __len__(self) -> int:
         return len(self.faults)

@@ -22,6 +22,7 @@ import json
 from pathlib import Path
 from typing import Iterable
 
+from repro.ioutil import atomic_open
 from repro.obs.tracer import TraceEvent
 
 __all__ = [
@@ -94,7 +95,7 @@ def write_jsonl(events: Iterable[TraceEvent], path: str | Path) -> int:
     """Write one JSON object per line after a schema header line;
     returns the number of *events* written (the header is free)."""
     n = 0
-    with open(path, "w", encoding="utf-8") as fh:
+    with atomic_open(path) as fh:
         fh.write(json.dumps(
             {"schema": TRACE_SCHEMA, "version": TRACE_SCHEMA_VERSION},
             separators=(",", ":")) + "\n")
@@ -187,7 +188,7 @@ def write_chrome_trace(events: Iterable[TraceEvent],
                        path: str | Path) -> int:
     """Write the Chrome trace JSON; returns the trace-event count."""
     doc = to_chrome_trace(events)
-    with open(path, "w", encoding="utf-8") as fh:
+    with atomic_open(path) as fh:
         json.dump(doc, fh, separators=(",", ":"))
     return len(doc["traceEvents"])
 

@@ -36,7 +36,7 @@ __all__ = ["FlightRecorder", "DEFAULT_TRIGGER_KINDS"]
 
 #: fault-injection kinds that auto-dump the ring (first occurrence)
 DEFAULT_TRIGGER_KINDS = frozenset({
-    "fault.crash", "fault.link", "fault.ctl_partition",
+    "fault.crash", "fault.link", "fault.ctl_partition", "fault.shard",
 })
 
 

@@ -1,0 +1,205 @@
+# lint: allow-file(det-wall-clock)
+"""Sharded population benchmarks: single points and scaling curves.
+
+Backs ``python -m repro bench --clients N --shards K`` and
+``--scale-curve``. A *point* runs one supervised sharded population
+and reports the merged metrics, digest, completeness and per-shard
+lifecycle; a *curve* sweeps N and emits the scaling artifact
+(``BENCH_population_scale.json``: events/sec and wall_s vs N) for the
+bench trajectory.
+
+Per-cell admission: each cell is its own engine, so the admission
+controller sees one cell's concurrency, not the population's. The
+default config raises per-cell capacity so a full cell admits all its
+viewers; population-level admission studies stay on the monolithic
+path where one controller sees every session.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.shard.plan import ShardPlan, ShardWorkload
+from repro.shard.result import ShardedRunResult
+from repro.shard.supervisor import ShardSupervisor
+
+__all__ = ["shard_workload", "run_sharded", "sharded_artifact",
+           "run_scale_curve", "SCALE_POINTS", "SCALE_SMOKE_POINTS"]
+
+BENCH_SCHEMA = "repro.bench"
+BENCH_SCHEMA_VERSION = 1
+
+#: default N sweep of the scaling curve (>= 10^4 at the top)
+SCALE_POINTS = (64, 256, 1024, 10240)
+SCALE_SMOKE_POINTS = (8, 16, 32)
+
+#: default per-cell EngineConfig overrides (see module docstring)
+DEFAULT_CELL_CONFIG = {"admission_capacity_bps": 400e6}
+
+
+def shard_workload(duration_s: float = 6.0, stagger_s: float = 0.4,
+                   with_images: bool = True,
+                   config: dict[str, Any] | None = None,
+                   **kwargs: Any) -> ShardWorkload:
+    """The standard bench workload (population_clean's A/V document)."""
+    from repro.core.experiments import av_markup
+
+    cfg = dict(DEFAULT_CELL_CONFIG)
+    if config:
+        cfg.update(config)
+    return ShardWorkload(
+        markup=av_markup(duration_s, with_images),
+        stagger_s=stagger_s, config=cfg, **kwargs,
+    )
+
+
+def run_sharded(
+    n_clients: int,
+    n_shards: int,
+    *,
+    seed: int = 11,
+    cell_clients: int = 8,
+    duration_s: float = 6.0,
+    stagger_s: float = 0.4,
+    with_images: bool = True,
+    config: dict[str, Any] | None = None,
+    workload: ShardWorkload | None = None,
+    tolerate_failures: bool = False,
+    tracer=None,
+    **supervisor_kwargs: Any,
+) -> ShardedRunResult:
+    """One supervised sharded population run.
+
+    Raises :class:`~repro.shard.result.ShardFailure` when shards fail
+    permanently and ``tolerate_failures`` is off.
+    """
+    plan = ShardPlan(n_clients=n_clients, n_shards=n_shards,
+                     cell_clients=cell_clients, seed=seed)
+    if workload is None:
+        workload = shard_workload(duration_s, stagger_s, with_images,
+                                  config)
+    supervisor = ShardSupervisor(
+        plan, workload, tolerate_failures=tolerate_failures,
+        tracer=tracer, **supervisor_kwargs,
+    )
+    return supervisor.run()
+
+
+def sharded_artifact(result: ShardedRunResult, *, smoke: bool = False,
+                     duration_s: float = 6.0,
+                     name: str = "population_shard") -> dict[str, Any]:
+    """A ``repro.bench`` artifact for one sharded point.
+
+    Carries the standard trajectory keys (wall_s, events,
+    events_per_sec, sessions, completed, qoe, service, timeseries)
+    plus the sharding extras: digest, completeness, shard lifecycle.
+    """
+    from repro.shard.merge import qoe_summary_of
+
+    events_per_sec = (result.events / result.wall_s
+                      if result.wall_s > 0 else 0.0)
+    artifact: dict[str, Any] = {
+        "schema": BENCH_SCHEMA,
+        "version": BENCH_SCHEMA_VERSION,
+        "name": name,
+        "scenario": name,
+        "description": "supervised sharded population run",
+        "smoke": smoke,
+        "seed": result.seed,
+        "clients": result.clients,
+        "duration_s": duration_s,
+        "topology": "star",
+        "shards": result.n_shards,
+        "cell_clients": result.cell_clients,
+        "wall_s": result.wall_s,
+        "cpu_wall_s": result.cpu_wall_s,
+        "events": result.events,
+        "events_per_sec": events_per_sec,
+        "sessions": result.sessions(),
+        "completed": result.completed_sessions(),
+        "qoe": qoe_summary_of(result.merged),
+        "digest": result.digest,
+        "completeness": result.completeness,
+        "cells_total": result.cells_total,
+        "cells_merged": result.cells_merged,
+        "missing_cells": list(result.missing_cells),
+        "shard_lifecycle": [s.to_dict() for s in result.shards],
+        "interrupted": result.interrupted,
+    }
+    if result.merged.get("service"):
+        artifact["service"] = result.merged["service"]
+    if result.merged.get("timeseries"):
+        artifact["timeseries"] = result.merged["timeseries"]
+    return artifact
+
+
+def run_scale_curve(
+    points: tuple[int, ...] | list[int] | None = None,
+    *,
+    n_shards: int = 4,
+    seed: int = 11,
+    cell_clients: int = 8,
+    duration_s: float = 2.0,
+    stagger_s: float = 0.25,
+    smoke: bool = False,
+    tolerate_failures: bool = False,
+    progress=None,
+    **supervisor_kwargs: Any,
+) -> dict[str, Any]:
+    """Sweep population sizes; the scaling-curve artifact.
+
+    The curve uses a lighter cell than the headline bench (short
+    duration, no discrete images) so the 10^4-client point stays
+    tractable on one machine; throughput comparisons hold within the
+    curve, not against other scenarios. The artifact's top-level
+    metrics mirror the largest point so trend tooling reads it like
+    any bench artifact.
+    """
+    if points is None:
+        points = SCALE_SMOKE_POINTS if smoke else SCALE_POINTS
+    workload = shard_workload(duration_s, stagger_s, with_images=False)
+    rows: list[dict[str, Any]] = []
+    for n in points:
+        result = run_sharded(
+            n, n_shards, seed=seed, cell_clients=cell_clients,
+            workload=workload, tolerate_failures=tolerate_failures,
+            **supervisor_kwargs,
+        )
+        rows.append({
+            "clients": n,
+            "wall_s": result.wall_s,
+            "cpu_wall_s": result.cpu_wall_s,
+            "events": result.events,
+            "events_per_sec": (result.events / result.wall_s
+                               if result.wall_s > 0 else 0.0),
+            "sessions": result.sessions(),
+            "completed": result.completed_sessions(),
+            "completeness": result.completeness,
+            "digest": result.digest,
+        })
+        if progress is not None:
+            progress(rows[-1])
+    top = rows[-1]
+    return {
+        "schema": BENCH_SCHEMA,
+        "version": BENCH_SCHEMA_VERSION,
+        "name": "population_scale",
+        "scenario": "population_scale",
+        "description": "sharded population scaling curve "
+                       "(events/sec and wall_s vs N)",
+        "smoke": smoke,
+        "seed": seed,
+        "shards": n_shards,
+        "cell_clients": cell_clients,
+        "duration_s": duration_s,
+        "topology": "star",
+        "points": rows,
+        # headline = the largest point, for trend/report tooling
+        "clients": top["clients"],
+        "wall_s": top["wall_s"],
+        "events": top["events"],
+        "events_per_sec": top["events_per_sec"],
+        "sessions": top["sessions"],
+        "completed": top["completed"],
+        "completeness": top["completeness"],
+    }

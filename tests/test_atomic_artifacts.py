@@ -1,0 +1,88 @@
+"""Atomic artifact writes: no torn files, ever."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.ioutil import atomic_open, atomic_write_json, atomic_write_text
+
+
+def _no_tmp_siblings(directory):
+    return not any(p.name.endswith(".tmp") for p in directory.iterdir())
+
+
+def test_atomic_write_lands_content(tmp_path):
+    target = tmp_path / "out.txt"
+    atomic_write_text(target, "hello\n")
+    assert target.read_text() == "hello\n"
+    assert _no_tmp_siblings(tmp_path)
+
+
+def test_failed_write_preserves_previous_content(tmp_path):
+    target = tmp_path / "artifact.json"
+    atomic_write_json(target, {"v": 1})
+    before = target.read_text()
+    with pytest.raises(RuntimeError):
+        with atomic_open(target) as fh:
+            fh.write('{"v": 2, "truncat')
+            raise RuntimeError("simulated crash mid-write")
+    assert target.read_text() == before
+    assert _no_tmp_siblings(tmp_path)
+
+
+def test_failed_write_leaves_nothing_when_no_previous_file(tmp_path):
+    target = tmp_path / "fresh.json"
+    with pytest.raises(RuntimeError):
+        with atomic_open(target) as fh:
+            fh.write("partial")
+            raise RuntimeError("boom")
+    assert not target.exists()
+    assert _no_tmp_siblings(tmp_path)
+
+
+def test_atomic_write_json_is_deterministic(tmp_path):
+    target = tmp_path / "doc.json"
+    atomic_write_json(target, {"b": 2, "a": 1})
+    assert json.loads(target.read_text()) == {"a": 1, "b": 2}
+    assert target.read_text().endswith("\n")
+
+
+class _Unserializable:
+    def __str__(self):
+        raise TypeError("cannot stringify")
+
+
+def test_reporter_artifact_failure_preserves_previous(tmp_path):
+    from repro.analysis import Reporter
+
+    target = tmp_path / "BENCH_x.json"
+    report = Reporter()
+    report.artifact("artifact:x", str(target), {"ok": True})
+    before = target.read_text()
+    with pytest.raises(TypeError):
+        report.artifact("artifact:x", str(target),
+                        {"bad": _Unserializable()})
+    assert target.read_text() == before
+    assert _no_tmp_siblings(tmp_path)
+
+
+def test_trace_exports_are_atomic(tmp_path):
+    from repro.obs.export import (
+        read_jsonl,
+        write_chrome_trace,
+        write_jsonl,
+    )
+    from repro.obs.tracer import TraceEvent
+
+    events = [TraceEvent(time=0.1, kind="session.open", name="s",
+                         phase="i", session="sess-1", node="client1",
+                         args={})]
+    jsonl = tmp_path / "trace.jsonl"
+    assert write_jsonl(events, jsonl) == 1
+    assert len(read_jsonl(jsonl)) == 1
+    chrome = tmp_path / "trace.chrome.json"
+    write_chrome_trace(events, chrome)
+    assert json.loads(chrome.read_text())["traceEvents"]
+    assert _no_tmp_siblings(tmp_path)

@@ -74,6 +74,68 @@ def test_from_dict_rejects_unknown_kind():
         FaultPlan.from_dict({"faults": [{"kind": "meteor-strike", "at": 1.0}]})
 
 
+def test_plan_rejects_non_finite_times():
+    for bad in (float("nan"), float("inf"), -float("inf")):
+        with pytest.raises(ValueError, match="at"):
+            FaultPlan((ControlPartitionFault(at=bad, duration_s=1.0),))
+    with pytest.raises(ValueError, match="duration_s"):
+        FaultPlan((LinkDownFault(src="a", dst="b", at=0.0,
+                                 duration_s=float("nan")),))
+
+
+def test_plan_rejects_zero_length_windows():
+    with pytest.raises(ValueError, match="duration_s"):
+        FaultPlan((LinkDownFault(src="a", dst="b", at=0.0,
+                                 duration_s=0.0),))
+    with pytest.raises(ValueError, match="duration_s"):
+        FaultPlan((ControlImpairFault(at=0.0, duration_s=-1.0),))
+
+
+def test_plan_rejects_zero_length_flap_window():
+    good = dict(src="a", dst="b", at=0.0, period_s=1.0, down_s=0.2,
+                count=3)
+    FaultPlan((LinkFlapFault(**good),))  # sanity: the base is valid
+    for field, bad in (("down_s", 0.0), ("period_s", 0.0),
+                       ("down_s", -0.5), ("count", 0)):
+        with pytest.raises(ValueError, match=field):
+            FaultPlan((LinkFlapFault(**{**good, field: bad}),))
+
+
+def test_plan_rejects_bad_impair_parameters():
+    for field, bad in (("drop_prob", -0.1), ("drop_prob", 1.5),
+                       ("drop_prob", float("nan")),
+                       ("delay_s", -1.0), ("jitter_s", float("inf"))):
+        with pytest.raises(ValueError, match=field):
+            FaultPlan((ControlImpairFault(at=0.0, duration_s=1.0,
+                                          **{field: bad}),))
+
+
+def test_plan_rejects_bad_restart():
+    with pytest.raises(ValueError, match="restart_after_s"):
+        FaultPlan((ServerCrashFault(server="s", media_server="m",
+                                    at=0.0, restart_after_s=-1.0),))
+    # None (never restarts) stays valid
+    FaultPlan((ServerCrashFault(server="s", media_server="m", at=0.0),))
+
+
+def test_install_rejects_unknown_crash_targets():
+    from repro.core.engine import ServiceEngine
+    from repro.core.config import EngineConfig
+
+    eng = ServiceEngine(EngineConfig(seed=1))
+    eng.add_server("srv1")
+    with pytest.raises(ValueError, match="unknown server"):
+        eng.install_faults(FaultPlan((
+            ServerCrashFault(server="ghost", media_server="media",
+                             at=1.0),)))
+    eng2 = ServiceEngine(EngineConfig(seed=1))
+    eng2.add_server("srv1")
+    with pytest.raises(ValueError, match="unknown media server"):
+        eng2.install_faults(FaultPlan((
+            ServerCrashFault(server="srv1", media_server="ghost",
+                             at=1.0),)))
+
+
 # -- digest -------------------------------------------------------------------
 
 def test_canonical_json_is_order_insensitive():

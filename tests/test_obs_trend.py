@@ -145,7 +145,8 @@ def test_trend_cli_errors_without_history(tmp_path, capsys):
 # -- the markdown dashboard ---------------------------------------------------
 
 def test_report_cli_renders_dashboard(tmp_path, capsys):
-    src = sorted(os.listdir(HISTORY_DIR))[-1]
+    src = sorted(f for f in os.listdir(HISTORY_DIR)
+                 if "population_clean" in f)[-1]
     out = tmp_path / "report.md"
     assert main(["report",
                  "--artifact", os.path.join(HISTORY_DIR, src),
