@@ -12,6 +12,8 @@ import pathlib
 
 import pytest
 
+from repro.ioutil import atomic_write_text
+
 OUT_DIR = pathlib.Path(__file__).parent / "out"
 
 
@@ -22,7 +24,7 @@ def report():
     def _report(name: str, text: str) -> None:
         OUT_DIR.mkdir(exist_ok=True)
         path = OUT_DIR / f"{name}.txt"
-        path.write_text(text + "\n")
+        atomic_write_text(str(path), text + "\n")
         print(f"\n{text}\n[written to {path}]")
 
     return _report

@@ -60,6 +60,7 @@ instead of text tables.
 
 from __future__ import annotations
 
+import os
 import sys
 
 from repro.analysis import Reporter
@@ -963,6 +964,9 @@ def _lint(args: list[str], report: Reporter) -> int:
     closed = False
     capacity_bps: float | None = None
     examples_dir: str | None = None
+    fmt = "text"
+    baseline_path: str | None = None
+    write_baseline: str | None = None
     paths: list[str] = []
     i = 0
     while i < len(args):
@@ -979,24 +983,48 @@ def _lint(args: list[str], report: Reporter) -> int:
         elif a == "--examples-dir":
             i += 1
             examples_dir = args[i]
+        elif a == "--format":
+            i += 1
+            fmt = args[i]
+            if fmt not in ("text", "github"):
+                report.text(f"unknown --format {fmt!r} "
+                            "(want text or github)")
+                return 2
+        elif a == "--baseline":
+            i += 1
+            baseline_path = args[i]
+        elif a == "--write-baseline":
+            i += 1
+            write_baseline = args[i]
         elif a == "--list-rules":
             return list_rules(report)
         elif a in ("-h", "--help"):
             report.text(
                 "usage: python -m repro lint [PATH ...] [--self] "
                 "[--scenarios] [--capacity-mbps F] [--closed-set] "
-                "[--examples-dir DIR] [--list-rules]")
+                "[--examples-dir DIR] [--format text|github] "
+                "[--baseline FILE] [--write-baseline FILE] "
+                "[--list-rules]")
             report.text(
                 "PATHs ending in .py (or directories of Python code) go "
-                "to the determinism linter; .hml files/directories go to "
-                "the scenario analyzer as one scenario set.")
+                "to the Python linter (determinism + fork-safety + taint "
+                "+ trace-schema families); .hml files/directories go to "
+                "the scenario analyzer as one scenario set. --baseline "
+                "filters findings through a reason-annotated suppression "
+                "file; --write-baseline snapshots current findings.")
             return 0
         else:
             paths.append(a)
         i += 1
+    if self_lint and baseline_path is None:
+        default_baseline = os.path.join(os.getcwd(), "lint-baseline.json")
+        if os.path.exists(default_baseline):
+            baseline_path = default_baseline
     return run_lint(report, paths=paths, self_lint=self_lint,
                     scenarios=scenarios, capacity_bps=capacity_bps,
-                    closed=closed, examples_dir=examples_dir)
+                    closed=closed, examples_dir=examples_dir, fmt=fmt,
+                    baseline_path=baseline_path,
+                    write_baseline=write_baseline)
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -9,6 +9,7 @@ linter (:mod:`repro.analysis.pyrules`) — exposed through
 ``python -m repro lint`` (:mod:`repro.analysis.runner`).
 """
 
+from repro.analysis.callgraph import TAINT_RULES, PyProgram, load_program
 from repro.analysis.diagnostics import (
     Diagnostic,
     Rule,
@@ -16,11 +17,14 @@ from repro.analysis.diagnostics import (
     Severity,
     SourceSpan,
     exit_code,
+    github_annotations,
     render_diagnostics,
     summarize_diagnostics,
 )
 from repro.analysis.pyrules import PY_RULES, lint_file, lint_paths, lint_source
 from repro.analysis.report import Reporter
+from repro.analysis.shardrules import SHARD_RULES
+from repro.analysis.tracerules import TRACE_RULES, extract_emit_sites
 from repro.analysis.scenario_rules import (
     SCENARIO_RULES,
     BandwidthVerdict,
@@ -42,8 +46,12 @@ from repro.analysis.traces import (
 __all__ = [
     "PY_RULES",
     "SCENARIO_RULES",
+    "SHARD_RULES",
+    "TAINT_RULES",
+    "TRACE_RULES",
     "BandwidthVerdict",
     "Diagnostic",
+    "PyProgram",
     "Reporter",
     "Rule",
     "RuleRegistry",
@@ -56,10 +64,13 @@ __all__ = [
     "check_bandwidth",
     "event_rate_series",
     "exit_code",
+    "extract_emit_sites",
     "gap_timeline",
+    "github_annotations",
     "lint_file",
     "lint_paths",
     "lint_source",
+    "load_program",
     "mean_ci",
     "occupancy_series",
     "render_diagnostics",

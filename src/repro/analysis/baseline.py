@@ -1,0 +1,146 @@
+"""Lint suppression baseline: incremental adoption without decay.
+
+A new rule family lands against an existing codebase; fixing every
+finding in the same change is the goal (and what PR 10 does), but the
+gate must not force that choice forever. The baseline file is the
+escape hatch with teeth:
+
+* every entry **must carry a reason** — an entry without one is itself
+  an error (``lint-baseline-reason``), so the file cannot become a
+  silent dumping ground;
+* an entry that no longer matches any finding is reported as
+  ``lint-stale-baseline`` so the file shrinks as debts are paid;
+* the checked-in repo baseline is empty, and CI asserts it stays
+  empty-or-fully-annotated.
+
+Format (JSON, stable key order for reviewable diffs)::
+
+    {"version": 1,
+     "entries": [{"rule": "det-taint",
+                  "file": "src/repro/foo.py",
+                  "reason": "tracked in ROADMAP item 4"}]}
+
+Matching is by ``(rule, file)`` where ``file`` matches a finding when
+the finding's path ends with the entry's path — entries stay valid
+across checkouts rooted at different prefixes. Deliberately no line
+numbers: baselines keyed on lines rot on every unrelated edit.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+
+__all__ = [
+    "BaselineEntry",
+    "Baseline",
+    "load_baseline",
+    "apply_baseline",
+    "baseline_document",
+]
+
+BASELINE_VERSION = 1
+
+
+@dataclass(frozen=True, slots=True)
+class BaselineEntry:
+    rule: str
+    file: str
+    reason: str = ""
+
+    def matches(self, diag: Diagnostic) -> bool:
+        if diag.rule_id != self.rule:
+            return False
+        path = diag.span.file if diag.span is not None else diag.subject
+        norm = path.replace("\\", "/")
+        want = self.file.replace("\\", "/")
+        return norm == want or norm.endswith("/" + want)
+
+
+@dataclass(slots=True)
+class Baseline:
+    path: str
+    entries: list[BaselineEntry] = field(default_factory=list)
+
+
+def load_baseline(path: str) -> Baseline:
+    """Parse a baseline file; malformed content raises ValueError."""
+    with open(path, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if not isinstance(doc, dict) or doc.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"{path}: not a lint baseline "
+            f"(want {{'version': {BASELINE_VERSION}, ...}})")
+    entries: list[BaselineEntry] = []
+    for i, raw in enumerate(doc.get("entries", [])):
+        if (not isinstance(raw, dict) or "rule" not in raw
+                or "file" not in raw):
+            raise ValueError(
+                f"{path}: entry {i} must carry 'rule' and 'file'")
+        entries.append(BaselineEntry(
+            rule=str(raw["rule"]), file=str(raw["file"]),
+            reason=str(raw.get("reason", ""))))
+    return Baseline(path=path, entries=entries)
+
+
+def apply_baseline(
+        diags: list[Diagnostic],
+        baseline: Baseline) -> tuple[list[Diagnostic], int]:
+    """Filter baselined findings out of ``diags``.
+
+    Returns ``(kept + baseline hygiene findings, n_suppressed)``.
+    Hygiene findings: ``lint-baseline-reason`` (ERROR) for an entry
+    without a reason, ``lint-stale-baseline`` (WARNING) for an entry
+    that suppressed nothing.
+    """
+    kept: list[Diagnostic] = []
+    hit: set[int] = set()
+    suppressed = 0
+    for diag in diags:
+        matched = False
+        for i, entry in enumerate(baseline.entries):
+            if entry.matches(diag):
+                hit.add(i)
+                matched = True
+        if matched:
+            suppressed += 1
+        else:
+            kept.append(diag)
+    name = os.path.basename(baseline.path)
+    for i, entry in enumerate(baseline.entries):
+        if not entry.reason.strip():
+            kept.append(Diagnostic(
+                "lint-baseline-reason", Severity.ERROR,
+                f"baseline entry ({entry.rule}, {entry.file}) has no "
+                "reason: every suppression must say why it exists and "
+                "when it can go.",
+                subject=name,
+            ))
+        if i not in hit:
+            kept.append(Diagnostic(
+                "lint-stale-baseline", Severity.WARNING,
+                f"baseline entry ({entry.rule}, {entry.file}) matched "
+                "no finding; the debt is paid — delete the entry.",
+                subject=name,
+            ))
+    return kept, suppressed
+
+
+def baseline_document(diags: list[Diagnostic],
+                      reason: str = "") -> dict[str, object]:
+    """A baseline JSON document covering ``diags`` (``--write-baseline``)."""
+    seen: set[tuple[str, str]] = set()
+    entries: list[dict[str, str]] = []
+    for diag in diags:
+        path = diag.span.file if diag.span is not None else diag.subject
+        key = (diag.rule_id, path)
+        if key in seen:
+            continue
+        seen.add(key)
+        entries.append({"rule": diag.rule_id, "file": path,
+                        "reason": reason})
+    entries.sort(key=lambda e: (e["file"], e["rule"]))
+    return {"version": BASELINE_VERSION, "entries": entries}

@@ -29,6 +29,7 @@ __all__ = [
     "Rule",
     "RuleRegistry",
     "exit_code",
+    "github_annotations",
     "render_diagnostics",
     "summarize_diagnostics",
 ]
@@ -215,6 +216,41 @@ def summarize_diagnostics(diags: Sequence[Diagnostic]) -> dict[str, int]:
 def exit_code(diags: Sequence[Diagnostic]) -> int:
     """Process exit status for a lint run: 1 iff any error."""
     return 1 if any(d.is_error for d in diags) else 0
+
+
+_GITHUB_LEVEL = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.INFO: "notice",
+}
+
+
+def _github_escape(text: str) -> str:
+    """GitHub workflow-command data escaping (%, CR, LF)."""
+    return (text.replace("%", "%25")
+                .replace("\r", "%0D")
+                .replace("\n", "%0A"))
+
+
+def github_annotations(diags: Sequence[Diagnostic]) -> list[str]:
+    """GitHub Actions workflow commands, one per finding.
+
+    ``::error file=src/x.py,line=12,col=3::[rule-id] message`` — when
+    printed from a CI step these land as inline annotations on the
+    PR diff. Findings without a file span annotate the run itself.
+    """
+    out: list[str] = []
+    for d in diags:
+        props = ""
+        if d.span is not None and d.span.file:
+            props = f" file={_github_escape(d.span.file)}"
+            if d.span.line > 0:
+                props += f",line={d.span.line}"
+                if d.span.column > 0:
+                    props += f",col={d.span.column}"
+        message = _github_escape(f"[{d.rule_id}] {d.message}")
+        out.append(f"::{_GITHUB_LEVEL[d.severity]}{props}::{message}")
+    return out
 
 
 def render_diagnostics(reporter, diags: Sequence[Diagnostic],

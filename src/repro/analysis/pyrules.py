@@ -60,7 +60,8 @@ from repro.analysis.diagnostics import (
     SourceSpan,
 )
 
-__all__ = ["PY_RULES", "PyModule", "lint_source", "lint_file", "lint_paths"]
+__all__ = ["PY_RULES", "PyModule", "lint_source", "lint_file", "lint_paths",
+           "stale_pragma_diags"]
 
 PY_RULES = RuleRegistry("determinism")
 
@@ -107,6 +108,11 @@ class PyModule:
     parents: dict[ast.AST, ast.AST] = field(default_factory=dict)
     pragma_lines: dict[int, set[str]] = field(default_factory=dict)
     pragma_file: set[str] = field(default_factory=set)
+    #: pragmas that actually suppressed (or would have suppressed) a
+    #: finding this run: ``(line, rule_id)`` per-line entries plus
+    #: ``(0, rule_id)`` for file-wide pragmas. The stale-pragma pass
+    #: reports every parsed pragma that never lands here.
+    used_pragmas: set[tuple[int, str]] = field(default_factory=set)
 
     @classmethod
     def parse(cls, path: str, source: str) -> "PyModule":
@@ -123,13 +129,20 @@ class PyModule:
     # -- helpers rules share --------------------------------------------
     def suppressed(self, rule_id: str, node: ast.AST) -> bool:
         if rule_id in self.pragma_file:
+            self.used_pragmas.add((0, rule_id))
             return True
         start = getattr(node, "lineno", 0)
         end = getattr(node, "end_lineno", start) or start
-        return any(
-            rule_id in self.pragma_lines.get(line, ())
-            for line in range(start, end + 1)
-        )
+        # A pragma on a decorator line covers the decorated def/class.
+        for deco in getattr(node, "decorator_list", ()):
+            deco_line = getattr(deco, "lineno", start)
+            start = min(start, deco_line)
+        hit = False
+        for line in range(start, end + 1):
+            if rule_id in self.pragma_lines.get(line, ()):
+                self.used_pragmas.add((line, rule_id))
+                hit = True
+        return hit
 
     def span(self, node: ast.AST) -> SourceSpan:
         line = getattr(node, "lineno", 0)
@@ -416,6 +429,39 @@ def _check_port_pairing(mod: PyModule) -> Iterator[Diagnostic]:
 
 
 # ----------------------------------------------------------------- entry
+def stale_pragma_diags(mod: PyModule,
+                       known_rules: set[str]) -> list[Diagnostic]:
+    """Pragmas that suppressed nothing in the run just finished.
+
+    Must be called *after* every rule family has run over ``mod`` —
+    :attr:`PyModule.used_pragmas` accumulates across families. A
+    pragma naming a rule id nobody registers is always stale (typo'd
+    or removed rule); a pragma naming a real rule that no longer
+    fires marks debt that has been paid — delete it so the
+    suppression cannot silently swallow a future regression.
+    """
+    out: list[Diagnostic] = []
+    mentions: list[tuple[int, str]] = [
+        (line, rule)
+        for line, rules in sorted(mod.pragma_lines.items())
+        for rule in sorted(rules)
+    ]
+    mentions.extend((0, rule) for rule in sorted(mod.pragma_file))
+    for line, rule in mentions:
+        if (line, rule) in mod.used_pragmas:
+            continue
+        scope = "file-wide pragma" if line == 0 else "pragma"
+        why = ("names unknown rule" if rule not in known_rules
+               else "suppresses nothing (the rule no longer fires here)")
+        out.append(Diagnostic(
+            "lint-stale-pragma", Severity.WARNING,
+            f"{scope} allow({rule}) {why}; delete it so the "
+            "suppression cannot mask a future regression.",
+            span=SourceSpan(file=mod.path, line=line),
+        ))
+    return out
+
+
 def lint_source(path: str, source: str) -> list[Diagnostic]:
     """Lint one Python source text (``path`` is for reporting only)."""
     try:

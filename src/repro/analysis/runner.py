@@ -11,24 +11,50 @@ from __future__ import annotations
 
 import os
 
+from repro.analysis.baseline import (
+    apply_baseline,
+    baseline_document,
+    load_baseline,
+)
+from repro.analysis.callgraph import TAINT_RULES, load_program
 from repro.analysis.corpus import shipped_scenario_sets
 from repro.analysis.diagnostics import (
     Diagnostic,
     Severity,
     SourceSpan,
     exit_code,
+    github_annotations,
     render_diagnostics,
 )
-from repro.analysis.pyrules import PY_RULES, lint_paths
+from repro.analysis.pyrules import PY_RULES, stale_pragma_diags
 from repro.analysis.scenario_rules import (
     SCENARIO_RULES,
     ScenarioSet,
     analyze_set,
 )
+from repro.analysis.shardrules import SHARD_RULES
+from repro.analysis.tracerules import TRACE_RULES
 from repro.hml.lexer import HmlSyntaxError
 from repro.hml.parser import parse
 
-__all__ = ["self_lint_root", "run_lint", "lint_hml_paths", "list_rules"]
+__all__ = [
+    "self_lint_root",
+    "run_lint",
+    "lint_hml_paths",
+    "lint_python_program",
+    "known_rule_ids",
+    "list_rules",
+]
+
+#: program-scoped rule families (each checker takes a PyProgram)
+_PROGRAM_REGISTRIES = (SHARD_RULES, TAINT_RULES, TRACE_RULES)
+#: findings the lint run itself may synthesize outside any registry
+_META_RULES = {
+    "det-syntax",
+    "lint-stale-pragma",
+    "lint-stale-baseline",
+    "lint-baseline-reason",
+}
 
 
 def self_lint_root() -> str:
@@ -93,6 +119,47 @@ def lint_hml_paths(
     return out
 
 
+def known_rule_ids() -> set[str]:
+    """Every rule id the Python lint can emit (for stale-pragma)."""
+    out: set[str] = set(_META_RULES)
+    for registry in (PY_RULES, *_PROGRAM_REGISTRIES):
+        out.update(registry.ids())
+    return out
+
+
+def lint_python_program(
+    paths: list[str],
+    full: bool = False,
+    baseline_path: str | None = None,
+) -> list[Diagnostic]:
+    """Whole-program Python lint: every family plus hygiene passes.
+
+    Runs the per-module determinism rules, the program-scoped
+    families (fork-safety, taint, trace-schema), then the
+    stale-pragma pass (which must see the pragma usage every earlier
+    family recorded) and finally the suppression baseline. ``full``
+    marks a complete-package lint (``--self``) and enables
+    program-completeness rules like ``trace-unused-kind``.
+    """
+    program, diags = load_program(paths, full=full)
+    for mod in program.modules:
+        diags.extend(PY_RULES.run(mod))
+    for registry in _PROGRAM_REGISTRIES:
+        diags.extend(registry.run(program))
+    known = known_rule_ids()
+    for mod in program.modules:
+        diags.extend(stale_pragma_diags(mod, known))
+    if baseline_path is not None and os.path.exists(baseline_path):
+        diags, _suppressed = apply_baseline(diags,
+                                            load_baseline(baseline_path))
+    diags.sort(key=lambda d: (
+        d.span.file if d.span else d.subject,
+        d.span.line if d.span else 0,
+        d.rule_id,
+    ))
+    return diags
+
+
 def run_lint(
     reporter,
     paths: list[str] | None = None,
@@ -101,10 +168,14 @@ def run_lint(
     capacity_bps: float | None = None,
     closed: bool = False,
     examples_dir: str | None = None,
+    fmt: str = "text",
+    baseline_path: str | None = None,
+    write_baseline: str | None = None,
 ) -> int:
     """Run the requested lint passes; returns the process exit code."""
     any_pass = False
     status = 0
+    gh_lines: list[str] = []
 
     py_paths = [p for p in (paths or []) if p.endswith(".py")
                 or (os.path.isdir(p) and not _looks_like_hml_dir(p))]
@@ -114,8 +185,14 @@ def run_lint(
 
     if py_paths:
         any_pass = True
-        diags = lint_paths(py_paths)
+        diags = lint_python_program(py_paths, full=self_lint,
+                                    baseline_path=baseline_path)
+        if write_baseline is not None:
+            from repro.ioutil import atomic_write_json
+            atomic_write_json(write_baseline, baseline_document(diags))
+            reporter.value("baseline_written", write_baseline)
         render_diagnostics(reporter, diags, "determinism lint")
+        gh_lines.extend(github_annotations(diags))
         status = max(status, exit_code(diags))
 
     if hml_paths:
@@ -123,6 +200,7 @@ def run_lint(
         diags = lint_hml_paths(hml_paths, capacity_bps=capacity_bps,
                                closed=closed)
         render_diagnostics(reporter, diags, "scenario analysis")
+        gh_lines.extend(github_annotations(diags))
         status = max(status, exit_code(diags))
 
     if scenarios:
@@ -136,6 +214,7 @@ def run_lint(
                 + ("closed" if sset.closed else "open"),
             )
         render_diagnostics(reporter, all_diags, "shipped scenarios")
+        gh_lines.extend(github_annotations(all_diags))
         status = max(status, exit_code(all_diags))
 
     if not any_pass:
@@ -143,6 +222,9 @@ def run_lint(
             "usage: python -m repro lint [PATH ...] [--self] [--scenarios] "
             "[--capacity-mbps F] [--closed-set] [--list-rules]")
         return 2
+    if fmt == "github":
+        for line in gh_lines:
+            reporter.text(line)
     return status
 
 
@@ -155,8 +237,8 @@ def _looks_like_hml_dir(path: str) -> bool:
 
 
 def list_rules(reporter) -> int:
-    """Render the rule catalog of both families."""
-    for registry in (SCENARIO_RULES, PY_RULES):
+    """Render the rule catalog of every family."""
+    for registry in (SCENARIO_RULES, PY_RULES, *_PROGRAM_REGISTRIES):
         reporter.table(
             f"{registry.family} rules",
             ["rule", "severity", "description"],

@@ -1,0 +1,258 @@
+"""Fork-safety rules for the multiprocess shard engine.
+
+PR 9's supervised shard runner earned its design the hard way: a
+shared ``mp.Queue`` wedges on a truncated frame or a dead feeder's
+write lock, state mutated at module scope silently diverges between
+the parent and a spawned child, and a lock or live tracer captured in
+``Process(target=...)`` args either deadlocks or double-writes. These
+rules encode those post-mortems as program-scoped checks so the next
+worker entry point cannot re-introduce them:
+
+* ``fork-mp-queue`` — any ``multiprocessing`` queue construction.
+  The supervisor's sole-writer pipe protocol (one ``Pipe(duplex=
+  False)`` per shard, worker death surfaces as EOF) is the only
+  sanctioned IPC.
+* ``fork-module-state`` — a worker entry point (a function passed as
+  ``Process(target=...)``) that writes module-level state via
+  ``global``. The child's copy dies with the child; the parent's copy
+  never saw the write.
+* ``fork-captured-handle`` — a lock/tracer/open-file handle passed in
+  ``Process(args=...)`` or referenced inside a worker entry point.
+* ``fork-raw-artifact-write`` — ``open(path, "w")`` /
+  ``Path.write_text`` used to produce an artifact instead of the
+  crash-safe :mod:`repro.ioutil` atomics (mkstemp + fsync +
+  ``os.replace``). A shard killed mid-write must never leave a
+  half-written artifact that a later merge reads as truth.
+
+All four operate on a :class:`~repro.analysis.callgraph.PyProgram`
+so worker entry points referenced across modules still resolve.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.callgraph import FunctionInfo, PyProgram
+from repro.analysis.diagnostics import Diagnostic, RuleRegistry, Severity
+from repro.analysis.pyrules import PyModule, _dotted
+
+__all__ = ["SHARD_RULES"]
+
+SHARD_RULES = RuleRegistry("fork-safety")
+
+#: queue constructors banned in favor of sole-writer pipes
+_QUEUE_CALLS = {
+    "multiprocessing.Queue", "multiprocessing.SimpleQueue",
+    "multiprocessing.JoinableQueue",
+    "mp.Queue", "mp.SimpleQueue", "mp.JoinableQueue",
+}
+_QUEUE_ATTRS = {"Queue", "SimpleQueue", "JoinableQueue"}
+
+#: constructors/attribute names whose instances must not cross a fork
+_HANDLE_CALLS = {
+    "threading.Lock", "threading.RLock", "threading.Condition",
+    "threading.Event", "threading.Semaphore",
+}
+_HANDLE_HINTS = {"tracer", "_tracer", "lock", "_lock", "recorder"}
+
+
+def _worker_entry_points(
+        program: PyProgram) -> dict[str, tuple[FunctionInfo, ast.Call]]:
+    """Functions passed as ``Process(target=...)`` anywhere in the
+    program, keyed by qualname, with one representative spawn site."""
+    out: dict[str, tuple[FunctionInfo, ast.Call]] = {}
+    for mod, enclosing, call in program.iter_calls():
+        if not _is_process_ctor(call):
+            continue
+        for kw in call.keywords:
+            if kw.arg != "target":
+                continue
+            target = kw.value
+            if isinstance(target, (ast.Name, ast.Attribute)):
+                resolved = _resolve_target(program, mod, enclosing, target)
+                if resolved is not None:
+                    out.setdefault(resolved.qualname, (resolved, call))
+    return out
+
+
+def _resolve_target(program: PyProgram, mod: PyModule,
+                    enclosing: FunctionInfo | None,
+                    target: ast.expr) -> FunctionInfo | None:
+    probe = ast.Call(func=target, args=[], keywords=[])
+    return program.resolve_call(probe, enclosing, mod)
+
+
+def _is_process_ctor(call: ast.Call) -> bool:
+    """``Process(...)``, ``mp.Process(...)``, ``ctx.Process(...)`` —
+    anything ending in ``.Process`` or named exactly ``Process``."""
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id == "Process"
+    if isinstance(func, ast.Attribute):
+        return func.attr == "Process"
+    return False
+
+
+@SHARD_RULES.rule(
+    "fork-mp-queue",
+    "multiprocessing queues wedge on worker death; use sole-writer "
+    "pipes (Pipe(duplex=False))",
+)
+def _check_mp_queue(program: PyProgram) -> Iterator[Diagnostic]:
+    for mod in program.modules:
+        for node in ast.walk(mod.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _dotted(node.func)
+            is_queue = name in _QUEUE_CALLS or (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in _QUEUE_ATTRS
+                and _receiver_is_mp(node.func.value))
+            if not is_queue:
+                continue
+            d = mod.diag(
+                "fork-mp-queue", Severity.ERROR,
+                f"{name or node.func.attr}(): a shared queue blocks "
+                "forever on a truncated frame or a dead feeder's write "
+                "lock. Use one Pipe(duplex=False) per worker — EOF on "
+                "worker death, sole writer by construction.",
+                node,
+            )
+            if d:
+                yield d
+
+
+def _receiver_is_mp(node: ast.expr) -> bool:
+    """Heuristic: receiver looks like a multiprocessing module/context
+    (``mp``, ``multiprocessing``, ``ctx``, ``self._ctx`` ...)."""
+    name = _dotted(node)
+    tail = name.rsplit(".", 1)[-1]
+    return tail in ("mp", "multiprocessing", "ctx", "_ctx", "mp_ctx")
+
+
+@SHARD_RULES.rule(
+    "fork-module-state",
+    "worker entry points must not mutate module-level state",
+)
+def _check_module_state(program: PyProgram) -> Iterator[Diagnostic]:
+    for info, _spawn in _worker_entry_points(program).values():
+        for node in ast.walk(info.node):
+            if not isinstance(node, ast.Global):
+                continue
+            names = ", ".join(node.names)
+            d = info.module.diag(
+                "fork-module-state", Severity.ERROR,
+                f"worker entry point {info.name}() writes module-level "
+                f"state ({names}) via `global`: the child's copy dies "
+                "with the child and the parent never sees the write. "
+                "Send results over the worker's pipe instead.",
+                node,
+            )
+            if d:
+                yield d
+
+
+@SHARD_RULES.rule(
+    "fork-captured-handle",
+    "locks/tracers/open files must not cross Process(target=...)",
+)
+def _check_captured_handle(program: PyProgram) -> Iterator[Diagnostic]:
+    for mod, enclosing, call in program.iter_calls():
+        if not _is_process_ctor(call):
+            continue
+        for kw in call.keywords:
+            if kw.arg != "args":
+                continue
+            if not isinstance(kw.value, (ast.Tuple, ast.List)):
+                continue
+            for elt in kw.value.elts:
+                hint = _handle_hint(elt)
+                if hint is None:
+                    continue
+                d = mod.diag(
+                    "fork-captured-handle", Severity.ERROR,
+                    f"Process(args=...) captures {hint}: locks, tracers "
+                    "and open handles do not survive a fork coherently "
+                    "(deadlocks or double-writes). Pass plain data and "
+                    "reconstruct the handle inside the worker.",
+                    call,
+                )
+                if d:
+                    yield d
+                break
+
+
+def _handle_hint(node: ast.expr) -> str | None:
+    """Name of the suspicious handle expression, or None."""
+    name = _dotted(node)
+    if not name:
+        if isinstance(node, ast.Call):
+            ctor = _dotted(node.func)
+            if ctor in _HANDLE_CALLS:
+                return f"{ctor}()"
+        return None
+    tail = name.rsplit(".", 1)[-1].lower()
+    for hint in _HANDLE_HINTS:
+        if tail == hint.lstrip("_") or tail == hint:
+            return name
+    return None
+
+
+#: Path methods with the same non-atomic clobber semantics
+_RAW_PATH_METHODS = {"write_text", "write_bytes"}
+
+
+@SHARD_RULES.rule(
+    "fork-raw-artifact-write",
+    "artifact writes must go through repro.ioutil atomics "
+    "(mkstemp + fsync + os.replace)",
+)
+def _check_raw_write(program: PyProgram) -> Iterator[Diagnostic]:
+    for mod in program.modules:
+        if _is_ioutil(mod):
+            continue  # the atomics' own implementation
+        for node in ast.walk(mod.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            hint = _raw_write_hint(node)
+            if hint is None:
+                continue
+            d = mod.diag(
+                "fork-raw-artifact-write", Severity.ERROR,
+                f"{hint}: a process killed mid-write leaves a torn "
+                "file that a later merge reads as truth. Use "
+                "repro.ioutil (atomic_write_text / atomic_write_json "
+                "/ atomic_open) instead.",
+                node,
+            )
+            if d:
+                yield d
+
+
+def _is_ioutil(mod: PyModule) -> bool:
+    base = mod.path.replace("\\", "/")
+    return base.endswith("/ioutil.py") or base == "ioutil.py"
+
+
+def _raw_write_hint(call: ast.Call) -> str | None:
+    func = call.func
+    if isinstance(func, ast.Name) and func.id == "open":
+        mode = _open_mode(call)
+        if mode is not None and ("w" in mode or "a" in mode):
+            return f'open(..., "{mode}")'
+        return None
+    if isinstance(func, ast.Attribute) and func.attr in _RAW_PATH_METHODS:
+        return f"{_dotted(func) or func.attr}(...)"
+    return None
+
+
+def _open_mode(call: ast.Call) -> str | None:
+    if len(call.args) >= 2 and isinstance(call.args[1], ast.Constant) \
+            and isinstance(call.args[1].value, str):
+        return call.args[1].value
+    for kw in call.keywords:
+        if kw.arg == "mode" and isinstance(kw.value, ast.Constant) \
+                and isinstance(kw.value.value, str):
+            return kw.value.value
+    return None

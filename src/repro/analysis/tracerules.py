@@ -1,0 +1,410 @@
+"""Trace-schema conformance: every emit site vs the declared catalogue.
+
+The trace-v3 catalogue (:mod:`repro.obs.schema`) declares every event
+kind: its tier (detail vs control), its phase (instant / span begin /
+span end) and its field sets. Consumers — the lifecycle correlator,
+QoE scoring, trace summaries, SLO gates — key off those exact kinds
+and fields, so an emit site that drifts (typo'd kind, renamed field,
+per-packet kind outside the ``_tracing_detail`` guard) silently
+corrupts downstream analytics or re-inflates the always-on tracer's
+cost. This pass extracts every ``tracer.emit`` / ``span_begin`` /
+``span_end`` call in the program and checks it against the catalogue.
+
+Kind expressions are resolved statically:
+
+* string constants, and both arms of a conditional
+  (``"sflow.open" if opened else "sflow.join"``);
+* a local variable assigned in the enclosing function
+  (``kind = "admission.accept" if ... else ...``);
+* f-strings by constant prefix (``f"playout.{kind.value}"`` matches
+  the whole ``playout.*`` family — the site must satisfy every member);
+* a parameter of the enclosing function: the function is a *wrapper*
+  (e.g. the shard supervisor's ``_emit``), and every resolved caller
+  becomes a virtual emit site checked with the caller's own kind and
+  keyword fields.
+
+Anything else is reported as ``trace-dynamic-kind`` (warning) rather
+than guessed at. Calls inside functions *named* ``emit`` /
+``span_begin`` / ``span_end`` are tracer implementations (ring
+recorder delegation, the Tracer ABC) and are exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+
+from repro.analysis.callgraph import FunctionInfo, PyProgram
+from repro.analysis.diagnostics import Diagnostic, RuleRegistry, Severity
+from repro.analysis.pyrules import PyModule
+from repro.obs.schema import (
+    TIER_DETAIL,
+    TRACE_CATALOGUE,
+    KindSpec,
+    declared_phases,
+    kinds_matching,
+    lookup,
+)
+
+__all__ = ["TRACE_RULES", "EmitSite", "extract_emit_sites"]
+
+TRACE_RULES = RuleRegistry("trace-schema")
+
+#: correlation keys on the emit API itself, never per-kind fields
+_UNIVERSAL = {"session", "node", "name"}
+#: emit-family method names; calls inside defs with these names are
+#: tracer implementations, not emit sites
+_EMIT_METHODS = {"emit": "i", "span_begin": "B", "span_end": "E"}
+#: substring that marks a detail-tier guard expression
+_DETAIL_MARKER = "tracing_detail"
+
+
+@dataclass(slots=True)
+class EmitSite:
+    """One statically-extracted emit call (possibly a virtual site
+    projected through a wrapper onto its caller)."""
+
+    mod: PyModule
+    call: ast.Call  # the node diagnostics anchor at
+    phase: str  # "i" | "B" | "E"
+    #: (kind, exact) — exact=False is an f-string prefix match
+    kinds: tuple[tuple[str, bool], ...]
+    #: explicit keyword field names (universal keys excluded)
+    fields: frozenset[str]
+    #: site forwards a ``**kwargs`` — missing-field check is waived
+    has_kwargs: bool
+    enclosing: FunctionInfo | None
+    #: kind expression could not be resolved at all
+    dynamic: bool = False
+    dynamic_why: str = ""
+
+
+def extract_emit_sites(
+        program: PyProgram) -> tuple[list[EmitSite], list[EmitSite]]:
+    """(resolved sites, dynamic/unresolvable sites) for the program."""
+    sites: list[EmitSite] = []
+    dynamic: list[EmitSite] = []
+    for mod, enclosing, call in program.iter_calls():
+        phase = _emit_phase(call)
+        if phase is None:
+            continue
+        if enclosing is not None and enclosing.name in _EMIT_METHODS:
+            continue  # a tracer implementation / delegator
+        kind_expr = _kind_expr(call)
+        if kind_expr is None:
+            dynamic.append(EmitSite(
+                mod, call, phase, (), _site_fields(call),
+                _has_kwargs(call), enclosing, dynamic=True,
+                dynamic_why="no kind argument"))
+            continue
+        for site in _resolve_site(program, mod, enclosing, call, phase,
+                                  kind_expr, depth=0):
+            (dynamic if site.dynamic else sites).append(site)
+    return sites, dynamic
+
+
+def _emit_phase(call: ast.Call) -> str | None:
+    func = call.func
+    if isinstance(func, ast.Attribute):
+        return _EMIT_METHODS.get(func.attr)
+    return None
+
+
+def _kind_expr(call: ast.Call) -> ast.expr | None:
+    if len(call.args) >= 2:
+        return call.args[1]
+    for kw in call.keywords:
+        if kw.arg == "kind":
+            return kw.value
+    return None
+
+
+def _site_fields(call: ast.Call) -> frozenset[str]:
+    return frozenset(kw.arg for kw in call.keywords
+                     if kw.arg is not None and kw.arg not in _UNIVERSAL)
+
+
+def _has_kwargs(call: ast.Call) -> bool:
+    return any(kw.arg is None for kw in call.keywords)
+
+
+def _resolve_site(program: PyProgram, mod: PyModule,
+                  enclosing: FunctionInfo | None, call: ast.Call,
+                  phase: str, kind_expr: ast.expr,
+                  depth: int) -> Iterator[EmitSite]:
+    """Resolve one emit call into zero or more concrete sites."""
+    kinds = _resolve_kinds(kind_expr, enclosing)
+    if kinds:
+        yield EmitSite(mod, call, phase, tuple(kinds), _site_fields(call),
+                       _has_kwargs(call), enclosing)
+        return
+    # A parameter of the enclosing function: project through the
+    # wrapper onto every caller (one hop only).
+    if (depth == 0 and isinstance(kind_expr, ast.Name)
+            and enclosing is not None
+            and _param_index(enclosing, kind_expr.id) is not None):
+        yield from _wrapper_sites(program, enclosing, kind_expr.id, phase)
+        return
+    yield EmitSite(
+        mod, call, phase, (), _site_fields(call), _has_kwargs(call),
+        enclosing, dynamic=True,
+        dynamic_why=f"kind is {type(kind_expr).__name__}, "
+                    "not statically resolvable")
+
+
+def _resolve_kinds(expr: ast.expr,
+                   enclosing: FunctionInfo | None) -> list[tuple[str, bool]]:
+    """Constant / IfExp / f-string-prefix / local-assignment resolution."""
+    if isinstance(expr, ast.Constant) and isinstance(expr.value, str):
+        return [(expr.value, True)]
+    if isinstance(expr, ast.IfExp):
+        body = _resolve_kinds(expr.body, enclosing)
+        orelse = _resolve_kinds(expr.orelse, enclosing)
+        return body + orelse if body and orelse else []
+    if isinstance(expr, ast.JoinedStr):
+        prefix = ""
+        for part in expr.values:
+            if isinstance(part, ast.Constant) and isinstance(part.value, str):
+                prefix += part.value
+            else:
+                break
+        return [(prefix, False)] if prefix else []
+    if isinstance(expr, ast.Name) and enclosing is not None:
+        if _param_index(enclosing, expr.id) is not None:
+            return []  # wrapper case, handled by the caller projection
+        out: list[tuple[str, bool]] = []
+        for node in ast.walk(enclosing.node):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name) and target.id == expr.id:
+                        out.extend(_resolve_kinds(node.value, enclosing))
+        return out
+    return []
+
+
+def _param_index(info: FunctionInfo, name: str) -> int | None:
+    """Positional index of ``name`` among the function's parameters,
+    with an implicit self/cls already stripped for method callers."""
+    params = [a.arg for a in info.node.args.args]
+    if name not in params:
+        return None
+    idx = params.index(name)
+    if params and params[0] in ("self", "cls"):
+        idx -= 1
+    return idx if idx >= 0 else None
+
+
+def _wrapper_sites(program: PyProgram, wrapper: FunctionInfo,
+                   param: str, phase: str) -> Iterator[EmitSite]:
+    idx = _param_index(wrapper, param)
+    assert idx is not None
+    for mod, caller, call in program.callers_of(wrapper):
+        kind_expr: ast.expr | None = None
+        if len(call.args) > idx:
+            kind_expr = call.args[idx]
+        else:
+            for kw in call.keywords:
+                if kw.arg == param:
+                    kind_expr = kw.value
+        if kind_expr is None:
+            continue
+        kinds = _resolve_kinds(kind_expr, caller)
+        if kinds:
+            yield EmitSite(mod, call, phase, tuple(kinds),
+                           _site_fields(call), _has_kwargs(call), caller)
+        else:
+            yield EmitSite(
+                mod, call, phase, (), _site_fields(call),
+                _has_kwargs(call), caller, dynamic=True,
+                dynamic_why=f"kind forwarded through {wrapper.name}() "
+                            "is not statically resolvable")
+
+
+def _specs_for(site: EmitSite,
+               kind: str, exact: bool) -> list[KindSpec] | None:
+    """Catalogue specs one resolved kind matches, or None if unknown."""
+    if exact:
+        spec = lookup(kind, site.phase)
+        return [spec] if spec is not None else None
+    family = kinds_matching(kind, site.phase)
+    return family if family else None
+
+
+# ----------------------------------------------------------------- rules
+@TRACE_RULES.rule(
+    "trace-unknown-kind",
+    "every emitted trace kind must be declared in repro.obs.schema",
+)
+def _check_unknown_kind(program: PyProgram) -> Iterator[Diagnostic]:
+    sites, _dynamic = extract_emit_sites(program)
+    for site in sites:
+        for kind, exact in site.kinds:
+            if _specs_for(site, kind, exact) is not None:
+                continue
+            phases = declared_phases(kind) if exact else []
+            if phases:
+                hint = (f"declared at phase(s) {', '.join(sorted(phases))} "
+                        f"but emitted at phase {site.phase!r} — "
+                        "emit/span_begin/span_end mismatch")
+            elif exact:
+                hint = "not declared in the trace-v3 catalogue"
+            else:
+                hint = (f"f-string prefix matches no catalogue kind at "
+                        f"phase {site.phase!r}")
+            d = site.mod.diag(
+                "trace-unknown-kind", Severity.ERROR,
+                f"unknown trace kind {kind!r}: {hint}. Declare it in "
+                "repro/obs/schema.py or fix the emit site.",
+                site.call,
+            )
+            if d:
+                yield d
+
+
+@TRACE_RULES.rule(
+    "trace-field-mismatch",
+    "emit-site fields must match the kind's declared schema",
+)
+def _check_field_mismatch(program: PyProgram) -> Iterator[Diagnostic]:
+    sites, _dynamic = extract_emit_sites(program)
+    for site in sites:
+        for kind, exact in site.kinds:
+            specs = _specs_for(site, kind, exact)
+            if not specs:
+                continue  # unknown kind already reported
+            # The site must satisfy every kind it can emit: required =
+            # intersection over the family, allowed = union.
+            required = frozenset.intersection(
+                *(s.required for s in specs))
+            allowed = frozenset.union(*(s.allowed for s in specs))
+            missing = () if site.has_kwargs else tuple(
+                sorted(required - site.fields))
+            extra = tuple(sorted(site.fields - allowed))
+            if not missing and not extra:
+                continue
+            parts = []
+            if missing:
+                parts.append(f"missing required field(s) "
+                             f"{', '.join(missing)}")
+            if extra:
+                parts.append(f"undeclared field(s) {', '.join(extra)}")
+            d = site.mod.diag(
+                "trace-field-mismatch", Severity.ERROR,
+                f"emit of {kind!r}{'' if exact else '*'}: "
+                f"{'; '.join(parts)}. The catalogue declares "
+                f"required={{{', '.join(sorted(required))}}} "
+                f"optional={{{', '.join(sorted(allowed - required))}}}.",
+                site.call,
+            )
+            if d:
+                yield d
+
+
+@TRACE_RULES.rule(
+    "trace-detail-guard",
+    "detail-tier kinds must sit under the _tracing_detail guard",
+)
+def _check_detail_guard(program: PyProgram) -> Iterator[Diagnostic]:
+    sites, _dynamic = extract_emit_sites(program)
+    for site in sites:
+        detail_kinds = []
+        for kind, exact in site.kinds:
+            specs = _specs_for(site, kind, exact) or []
+            detail_kinds.extend(s.kind for s in specs
+                                if s.tier == TIER_DETAIL)
+        if not detail_kinds:
+            continue
+        if _detail_guarded(site):
+            continue
+        names = ", ".join(sorted(set(detail_kinds)))
+        d = site.mod.diag(
+            "trace-detail-guard", Severity.ERROR,
+            f"detail-tier kind(s) {names} emitted outside a "
+            "_tracing_detail guard: per-packet/per-frame kinds are "
+            "the firehose the two-tier contract keeps off the "
+            "always-on path. Wrap the emit in "
+            "`if sim._tracing_detail:` (or guard with an early "
+            "return).",
+            site.call,
+        )
+        if d:
+            yield d
+
+
+def _detail_guarded(site: EmitSite) -> bool:
+    # (a) an ancestor conditional whose test mentions the detail flag
+    for anc in site.mod.ancestors(site.call):
+        if isinstance(anc, (ast.If, ast.IfExp, ast.While)):
+            if _DETAIL_MARKER in ast.unparse(anc.test):
+                return True
+        if isinstance(anc, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            break
+    # (b) a dominating early return: an earlier `if <...detail...>:`
+    # in the enclosing function whose body ends the flow (the playout
+    # event-log pattern).
+    if site.enclosing is None:
+        return False
+    emit_line = getattr(site.call, "lineno", 0)
+    for node in ast.walk(site.enclosing.node):
+        if not isinstance(node, ast.If):
+            continue
+        if getattr(node, "lineno", emit_line) >= emit_line:
+            continue
+        if _DETAIL_MARKER not in ast.unparse(node.test):
+            continue
+        if node.body and isinstance(node.body[-1],
+                                    (ast.Return, ast.Raise, ast.Continue)):
+            return True
+    return False
+
+
+@TRACE_RULES.rule(
+    "trace-dynamic-kind",
+    "emit sites whose kind cannot be resolved statically",
+    severity=Severity.WARNING,
+)
+def _check_dynamic_kind(program: PyProgram) -> Iterator[Diagnostic]:
+    _sites, dynamic = extract_emit_sites(program)
+    for site in dynamic:
+        d = site.mod.diag(
+            "trace-dynamic-kind", Severity.WARNING,
+            f"emit kind is not statically resolvable "
+            f"({site.dynamic_why}); the schema checker cannot "
+            "validate this site. Prefer a constant, a conditional "
+            "over constants, or an f-string with a constant prefix.",
+            site.call,
+        )
+        if d:
+            yield d
+
+
+@TRACE_RULES.rule(
+    "trace-unused-kind",
+    "catalogue entries no longer emitted anywhere",
+    severity=Severity.WARNING,
+)
+def _check_unused_kind(program: PyProgram) -> Iterator[Diagnostic]:
+    if not program.full:
+        return  # only meaningful for a whole-package lint
+    sites, dynamic = extract_emit_sites(program)
+    if dynamic:
+        return  # cannot prove anything unused past an unresolved site
+    used: set[tuple[str, str]] = set()
+    for site in sites:
+        for kind, exact in site.kinds:
+            if exact:
+                used.add((kind, site.phase))
+            else:
+                used.update((s.kind, s.phase)
+                            for s in kinds_matching(kind, site.phase))
+    for (kind, phase), spec in sorted(TRACE_CATALOGUE.items()):
+        if (kind, phase) in used:
+            continue
+        yield Diagnostic(
+            "trace-unused-kind", Severity.WARNING,
+            f"catalogue kind {kind!r} (phase {phase!r}) is declared in "
+            "repro/obs/schema.py but no emit site produces it; delete "
+            "the entry or restore the emit.",
+            subject=f"{kind}:{phase}",
+        )

@@ -80,7 +80,7 @@ SCENARIOS: dict[str, BenchScenario] = {
 }
 
 
-def _media_egress_bytes(eng) -> int:
+def _media_egress_bytes(eng: Any) -> int:
     """Bytes transmitted off every serving media host (origin+replicas)."""
     hosts = {
         ms.node_id

@@ -12,6 +12,7 @@ without dragging the registry along.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterator
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
            "log_buckets"]
@@ -213,7 +214,9 @@ class MetricsRegistry:
         return hist
 
     # -- queries -----------------------------------------------------------
-    def series(self, name: str):
+    def series(
+        self, name: str,
+    ) -> Iterator[tuple[dict[str, str], Counter | Gauge | Histogram]]:
         """(labels dict, instrument) pairs of one metric name."""
         for store in (self._counters, self._gauges, self._histograms):
             for (metric, key), instrument in store.items():

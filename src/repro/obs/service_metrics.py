@@ -18,7 +18,7 @@ their reports in any order, get the same fleet rollup.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Iterator
 
 from repro.obs.metrics import Histogram, log_buckets
 
@@ -356,7 +356,7 @@ class ServiceMonitor:
         self._started = True
         self.sim.process(self._sampler(), name="service-monitor")
 
-    def _sampler(self):
+    def _sampler(self) -> Iterator[Any]:
         while True:
             yield self.sim.timeout(self.interval_s)
             self.sample()

@@ -24,7 +24,7 @@ embedded in BENCH_*/CHAOS_* artifacts under the ``timeseries`` key.
 
 from __future__ import annotations
 
-from typing import Any, Iterable
+from typing import Any, Iterable, Iterator
 
 __all__ = ["Column", "TimeSeries", "TimeSeriesSampler",
            "TIMESERIES_SCHEMA", "TIMESERIES_SCHEMA_VERSION"]
@@ -281,7 +281,7 @@ class TimeSeriesSampler:
         self._started = True
         self.sim.process(self._sampler(), name="timeseries-sampler")
 
-    def _sampler(self):
+    def _sampler(self) -> Iterator[Any]:
         while True:
             yield self.sim.timeout(self.interval_s)
             self.sample()

@@ -64,6 +64,12 @@ kind                      emitted by
 ``bcast.stop``            broadcaster stopped (viewers, carrier bytes)
 ========================  =====================================================
 
+This table is informal documentation; the machine-checked source of
+truth is the trace-v3 catalogue in :mod:`repro.obs.schema`
+(``TRACE_CATALOGUE``), which declares every kind's phase, tier and
+field schema. ``python -m repro lint --self`` verifies each emit site
+in the tree against it.
+
 Frame-lifecycle correlation: data-path events carry ``session`` and a
 ``frame`` arg (the frame's per-stream seq), letting
 :mod:`repro.obs.lifecycle` join a frame's journey across layers.

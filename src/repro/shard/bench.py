@@ -1,4 +1,3 @@
-# lint: allow-file(det-wall-clock)
 """Sharded population benchmarks: single points and scaling curves.
 
 Backs ``python -m repro bench --clients N --shards K`` and
@@ -17,7 +16,7 @@ path where one controller sees every session.
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Callable
 
 from repro.shard.plan import ShardPlan, ShardWorkload
 from repro.shard.result import ShardedRunResult
@@ -65,7 +64,7 @@ def run_sharded(
     config: dict[str, Any] | None = None,
     workload: ShardWorkload | None = None,
     tolerate_failures: bool = False,
-    tracer=None,
+    tracer: Any | None = None,
     **supervisor_kwargs: Any,
 ) -> ShardedRunResult:
     """One supervised sharded population run.
@@ -143,7 +142,7 @@ def run_scale_curve(
     stagger_s: float = 0.25,
     smoke: bool = False,
     tolerate_failures: bool = False,
-    progress=None,
+    progress: Callable[[dict[str, Any]], None] | None = None,
     **supervisor_kwargs: Any,
 ) -> dict[str, Any]:
     """Sweep population sizes; the scaling-curve artifact.

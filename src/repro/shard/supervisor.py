@@ -60,11 +60,14 @@ class _Shard:
     __slots__ = ("status", "cells", "proc", "conn", "attempt", "last_hb",
                  "deadline", "respawn_at", "rng")
 
-    def __init__(self, status: ShardStatus, cells, rng) -> None:
+    def __init__(self, status: ShardStatus,
+                 cells: list[tuple[int, int, int, int]],
+                 rng: np.random.Generator) -> None:
         self.status = status
         self.cells = cells  # (cell, lo, hi, seed) tuples
         self.proc: mp.process.BaseProcess | None = None
-        self.conn = None  # read end of the current attempt's pipe
+        #: read end of the current attempt's pipe
+        self.conn: mp_connection.Connection | None = None
         self.attempt = 0
         self.last_hb = 0.0
         self.deadline = float("inf")
@@ -89,7 +92,7 @@ class ShardSupervisor:
         jitter_frac: float = 0.25,
         tolerate_failures: bool = False,
         poll_interval_s: float = 0.05,
-        tracer=None,
+        tracer: Any | None = None,
         on_spawn: Callable[[int, int, Any], None] | None = None,
     ) -> None:
         self.plan = plan
@@ -216,7 +219,7 @@ class ShardSupervisor:
         old_int = signal.getsignal(signal.SIGINT)
         old_term = signal.getsignal(signal.SIGTERM)
 
-        def _on_signal(signum, frame):
+        def _on_signal(signum: int, frame: Any) -> None:
             self.request_interrupt()
 
         try:

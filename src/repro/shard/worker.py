@@ -29,6 +29,7 @@ import os
 import threading
 import time
 import traceback
+from multiprocessing import connection as mp_connection
 from typing import Any
 
 from repro.shard.plan import ShardWorkload
@@ -108,13 +109,15 @@ def run_cell(workload: ShardWorkload, cell: int, lo: int, hi: int,
     }
 
 
-def _send(conn, lock: threading.Lock, msg: tuple) -> None:
+def _send(conn: mp_connection.Connection, lock: threading.Lock,
+          msg: tuple) -> None:
     """One whole frame per message; returns only once fully written."""
     with lock:
         conn.send(msg)
 
 
-def _heartbeat_loop(conn, lock: threading.Lock, shard: int, attempt: int,
+def _heartbeat_loop(conn: mp_connection.Connection, lock: threading.Lock,
+                    shard: int, attempt: int,
                     stop: threading.Event, interval_s: float) -> None:
     while not stop.wait(interval_s):
         try:
@@ -123,7 +126,8 @@ def _heartbeat_loop(conn, lock: threading.Lock, shard: int, attempt: int,
             return
 
 
-def worker_main(conn, workload: ShardWorkload, shard: int, attempt: int,
+def worker_main(conn: mp_connection.Connection, workload: ShardWorkload,
+                shard: int, attempt: int,
                 cells: list[tuple[int, int, int, int]],
                 hb_interval_s: float) -> None:
     """Process entry point: run ``cells``, stream results, heartbeat.

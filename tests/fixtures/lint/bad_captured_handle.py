@@ -1,0 +1,14 @@
+"""Known-bad: live tracer captured across a Process(target=...) fork."""
+
+import multiprocessing as mp
+
+
+def worker(tracer, n):
+    if tracer.enabled:
+        tracer.emit(0.0, "shard.exit", shard=n, attempt=1, wall_s=0.0)
+
+
+def launch(tracer):
+    proc = mp.Process(target=worker, args=(tracer, 1))  # line 12
+    proc.start()
+    return proc

@@ -1,0 +1,16 @@
+"""Known-bad: worker entry point mutates module-level state."""
+
+import multiprocessing as mp
+
+completed = 0
+
+
+def worker(n):
+    global completed  # line 9: fork-module-state
+    completed += n
+
+
+def launch():
+    proc = mp.Process(target=worker, args=(3,))
+    proc.start()
+    return proc

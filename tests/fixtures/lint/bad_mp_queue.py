@@ -1,0 +1,8 @@
+"""Known-bad: shared multiprocessing queue instead of sole-writer pipes."""
+
+import multiprocessing as mp
+
+
+def build_ipc():
+    results = mp.Queue()  # line 7: fork-mp-queue
+    return results

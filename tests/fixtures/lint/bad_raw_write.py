@@ -1,0 +1,8 @@
+"""Known-bad: non-atomic artifact write (torn file on crash)."""
+
+import json
+
+
+def dump_artifact(path, doc):
+    with open(path, "w") as fh:  # line 7: fork-raw-artifact-write
+        json.dump(doc, fh)

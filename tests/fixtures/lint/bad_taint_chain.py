@@ -1,0 +1,20 @@
+"""Known-bad: wall-clock value laundered through a helper into a digest.
+
+The wall-clock read itself carries a (legitimate-looking) pragma —
+measurement is allowed — but the measured value must never reach
+digest-relevant state. det-taint ignores det-wall-clock pragmas and
+reports the full source -> helper -> sink chain.
+"""
+
+import time
+
+
+def measure():
+    started = time.perf_counter()  # lint: allow(det-wall-clock)
+    return started
+
+
+def build_doc(population_digest):
+    stamp = measure()
+    doc = {"stamp": stamp}
+    return population_digest(doc)  # line 20: det-taint

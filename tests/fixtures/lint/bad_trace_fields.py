@@ -1,0 +1,7 @@
+"""Known-bad: emit-site fields drifted from the declared schema."""
+
+
+def report_miss(sim, name):
+    if sim._tracing:
+        sim._tracer.emit(sim.now, "hb.miss", name,  # line 6
+                         count=3)

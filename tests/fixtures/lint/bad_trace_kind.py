@@ -1,0 +1,6 @@
+"""Known-bad: emit of a kind the trace-v3 catalogue never declared."""
+
+
+def fire(sim):
+    if sim._tracing:
+        sim._tracer.emit(sim.now, "stage.fire", "demo")  # line 6

@@ -1,0 +1,7 @@
+"""Known-bad: detail-tier kind emitted under the control-tier guard only."""
+
+
+def step(sim, event):
+    if sim._tracing:
+        sim._tracer.emit(sim.now, "kernel.event",  # line 6
+                         type(event).__name__)

@@ -1,0 +1,436 @@
+"""Whole-program lint v2: fork-safety, taint, trace-schema, baseline,
+pragma hygiene. Fixtures under tests/fixtures/lint are known-bad
+inputs with exact-diagnostic assertions."""
+
+import json
+import os
+
+import pytest
+
+from repro.analysis import Severity
+from repro.analysis.baseline import (
+    Baseline,
+    BaselineEntry,
+    apply_baseline,
+    baseline_document,
+    load_baseline,
+)
+from repro.analysis.callgraph import load_program
+from repro.analysis.diagnostics import github_annotations
+from repro.analysis.pyrules import PyModule
+from repro.analysis.runner import (
+    known_rule_ids,
+    lint_python_program,
+    self_lint_root,
+)
+from repro.analysis.tracerules import TRACE_RULES, extract_emit_sites
+from repro.obs.schema import TRACE_CATALOGUE, lookup
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures", "lint")
+
+
+def fixture(name):
+    return os.path.join(FIXTURES, name)
+
+
+def lint_fixture(name):
+    return lint_python_program([fixture(name)])
+
+
+# ---------------------------------------------------------- fork safety
+def test_mp_queue_flagged():
+    diags = lint_fixture("bad_mp_queue.py")
+    assert [d.rule_id for d in diags] == ["fork-mp-queue"]
+    assert diags[0].severity is Severity.ERROR
+    assert diags[0].span.line == 7
+    assert "Pipe(duplex=False)" in diags[0].message
+
+
+def test_fork_module_state_flagged():
+    diags = lint_fixture("bad_fork_state.py")
+    assert [d.rule_id for d in diags] == ["fork-module-state"]
+    assert diags[0].span.line == 9
+    assert "completed" in diags[0].message
+    assert "worker()" in diags[0].message
+
+
+def test_raw_artifact_write_flagged():
+    diags = lint_fixture("bad_raw_write.py")
+    assert [d.rule_id for d in diags] == ["fork-raw-artifact-write"]
+    assert diags[0].span.line == 7
+    assert "repro.ioutil" in diags[0].message
+
+
+def test_captured_handle_flagged():
+    diags = lint_fixture("bad_captured_handle.py")
+    assert [d.rule_id for d in diags] == ["fork-captured-handle"]
+    assert diags[0].span.line == 12
+    assert "tracer" in diags[0].message
+
+
+# ----------------------------------------------------------------- taint
+def test_taint_chain_reported_end_to_end():
+    diags = lint_fixture("bad_taint_chain.py")
+    assert [d.rule_id for d in diags] == ["det-taint"]
+    d = diags[0]
+    assert d.severity is Severity.ERROR
+    assert d.span.line == 20  # the sink call, not the source
+    # full source -> helper -> sink chain in the message
+    assert "time.perf_counter()" in d.message
+    assert "measure()" in d.message
+    assert "population_digest()" in d.message
+    assert d.message.index("perf_counter") < d.message.index("measure()")
+    assert d.message.index("measure()") < d.message.index(
+        "population_digest() at")
+
+
+def test_taint_ignores_wall_clock_pragma():
+    # the fixture's source line carries # lint: allow(det-wall-clock);
+    # det-wall-clock stays quiet but det-taint still fires
+    diags = lint_fixture("bad_taint_chain.py")
+    assert all(d.rule_id != "det-wall-clock" for d in diags)
+    assert any(d.rule_id == "det-taint" for d in diags)
+
+
+def test_taint_pragma_on_sink_suppresses(tmp_path):
+    src = (
+        "import time\n"
+        "def measure():\n"
+        "    return time.perf_counter()  # lint: allow(det-wall-clock)\n"
+        "def build(population_digest):\n"
+        "    return population_digest(measure())"
+        "  # lint: allow(det-taint)\n"
+    )
+    path = tmp_path / "sink_pragma.py"
+    path.write_text(src)
+    assert lint_python_program([str(path)]) == []
+
+
+def test_untainted_sink_argument_stays_clean(tmp_path):
+    # a wall-clock measurement NEXT TO a digest call is legal — only a
+    # tainted argument trips the rule (the shard worker's shape)
+    src = (
+        "import time\n"
+        "def run(population_digest, doc):\n"
+        "    t0 = time.perf_counter()  # lint: allow(det-wall-clock)\n"
+        "    digest = population_digest(doc)\n"
+        "    wall = time.perf_counter() - t0"
+        "  # lint: allow(det-wall-clock)\n"
+        "    return digest, wall\n"
+    )
+    path = tmp_path / "clean_sink.py"
+    path.write_text(src)
+    assert lint_python_program([str(path)]) == []
+
+
+# ---------------------------------------------------------- trace schema
+def test_unknown_trace_kind_flagged():
+    diags = lint_fixture("bad_trace_kind.py")
+    assert [d.rule_id for d in diags] == ["trace-unknown-kind"]
+    assert diags[0].span.line == 6
+    assert "stage.fire" in diags[0].message
+
+
+def test_unguarded_detail_emit_flagged():
+    diags = lint_fixture("bad_trace_unguarded.py")
+    assert [d.rule_id for d in diags] == ["trace-detail-guard"]
+    assert diags[0].span.line == 6
+    assert "kernel.event" in diags[0].message
+    assert "_tracing_detail" in diags[0].message
+
+
+def test_field_mismatch_flagged():
+    diags = lint_fixture("bad_trace_fields.py")
+    assert [d.rule_id for d in diags] == ["trace-field-mismatch"]
+    d = diags[0]
+    assert d.span.line == 6
+    assert "consecutive" in d.message  # missing required
+    assert "count" in d.message  # undeclared extra
+
+
+def test_span_phase_mismatch_flagged(tmp_path):
+    # "session" is declared as a span (B/E), not an instant emit
+    src = (
+        "def go(sim):\n"
+        "    if sim._tracing:\n"
+        "        sim._tracer.emit(sim.now, 'session', 's-1',\n"
+        "                         document='d', user='u')\n"
+    )
+    path = tmp_path / "phase_mismatch.py"
+    path.write_text(src)
+    diags = lint_python_program([str(path)])
+    assert [d.rule_id for d in diags] == ["trace-unknown-kind"]
+    assert "span_begin/span_end mismatch" in diags[0].message
+
+
+def test_kwargs_forwarding_waives_missing_fields(tmp_path):
+    src = (
+        "def fire(sim, **extra):\n"
+        "    if sim._tracing:\n"
+        "        sim._tracer.emit(sim.now, 'hb.miss', 'ep', **extra)\n"
+    )
+    path = tmp_path / "kwargs_emit.py"
+    path.write_text(src)
+    assert lint_python_program([str(path)]) == []
+
+
+def test_every_repro_emit_site_resolves():
+    program, problems = load_program([self_lint_root()], full=True)
+    assert problems == []
+    sites, dynamic = extract_emit_sites(program)
+    assert dynamic == []  # no emit site escapes the checker
+    assert len(sites) >= 70  # the trace-v3 surface, incl. virtual sites
+    for site in sites:
+        for kind, exact in site.kinds:
+            if exact:
+                assert lookup(kind, site.phase) is not None, (
+                    site.mod.path, kind)
+
+
+def test_unused_kind_only_in_full_mode(tmp_path):
+    src = (
+        "def go(sim):\n"
+        "    if sim._tracing:\n"
+        "        sim._tracer.emit(sim.now, 'hb.ok', 'ep')\n"
+    )
+    path = tmp_path / "one_emit.py"
+    path.write_text(src)
+    partial, _ = load_program([str(path)], full=False)
+    assert not any(d.rule_id == "trace-unused-kind"
+                   for d in TRACE_RULES.run(partial))
+    full, _ = load_program([str(path)], full=True)
+    unused = [d for d in TRACE_RULES.run(full)
+              if d.rule_id == "trace-unused-kind"]
+    # everything but hb.ok is unreferenced in this one-file program
+    assert len(unused) == len(TRACE_CATALOGUE) - 1
+    assert all(d.severity is Severity.WARNING for d in unused)
+
+
+def test_wrapper_projection_checks_caller_fields(tmp_path):
+    # a supervisor-style _emit wrapper: the caller's kwargs are checked
+    src = (
+        "class Sup:\n"
+        "    def _emit(self, kind, name='', **args):\n"
+        "        if self.tracer is not None:\n"
+        "            self.tracer.emit(0.0, kind, name, **args)\n"
+        "    def go(self):\n"
+        "        self._emit('hb.miss', 'ep', wrong_field=1)\n"
+    )
+    path = tmp_path / "wrapper.py"
+    path.write_text(src)
+    diags = lint_python_program([str(path)])
+    mismatches = [d for d in diags if d.rule_id == "trace-field-mismatch"]
+    assert len(mismatches) == 1
+    assert mismatches[0].span.line == 6  # anchored at the caller
+    assert "wrong_field" in mismatches[0].message
+
+
+# ------------------------------------------------------- pragma handling
+def test_multi_rule_pragma_on_one_line(tmp_path):
+    src = (
+        "import time\n"
+        "def jitter(np):\n"
+        "    return time.time() + np.random.rand()"
+        "  # lint: allow(det-wall-clock, det-global-random)\n"
+    )
+    path = tmp_path / "multi.py"
+    path.write_text(src)
+    # both line-3 findings (wall clock + global numpy RNG) are
+    # suppressed by the one comma-separated pragma, and neither
+    # pragma mention is stale
+    assert lint_python_program([str(path)]) == []
+
+
+def test_pragma_on_async_def_body(tmp_path):
+    src = (
+        "import time\n"
+        "async def poll():\n"
+        "    return time.time()  # lint: allow(det-wall-clock)\n"
+    )
+    path = tmp_path / "async_pragma.py"
+    path.write_text(src)
+    assert lint_python_program([str(path)]) == []
+
+
+def test_pragma_on_decorator_line_covers_the_def():
+    src = (
+        "import functools\n"
+        "@functools.cache  # lint: allow(det-wall-clock)\n"
+        "def cached():\n"
+        "    return 1\n"
+    )
+    mod = PyModule.parse("deco.py", src)
+    func = mod.tree.body[1]
+    assert mod.suppressed("det-wall-clock", func)
+    assert (2, "det-wall-clock") in mod.used_pragmas
+
+
+def test_stale_pragma_reported(tmp_path):
+    src = (
+        "def clean():\n"
+        "    return 1  # lint: allow(det-wall-clock)\n"
+    )
+    path = tmp_path / "stale.py"
+    path.write_text(src)
+    diags = lint_python_program([str(path)])
+    assert [d.rule_id for d in diags] == ["lint-stale-pragma"]
+    assert diags[0].severity is Severity.WARNING
+    assert diags[0].span.line == 2
+    assert "det-wall-clock" in diags[0].message
+
+
+def test_stale_file_pragma_and_unknown_rule(tmp_path):
+    src = (
+        "# lint: allow-file(det-wall-clock)\n"
+        "# lint: allow-file(no-such-rule)\n"
+        "def clean():\n"
+        "    return 1\n"
+    )
+    path = tmp_path / "stale_file.py"
+    path.write_text(src)
+    diags = lint_python_program([str(path)])
+    assert sorted(d.rule_id for d in diags) == ["lint-stale-pragma"] * 2
+    msgs = " ".join(d.message for d in diags)
+    assert "unknown rule" in msgs
+    assert "no longer fires" in msgs
+
+
+def test_used_pragma_not_stale(tmp_path):
+    src = (
+        "import time\n"
+        "def bench():\n"
+        "    return time.perf_counter()  # lint: allow(det-wall-clock)\n"
+    )
+    path = tmp_path / "used.py"
+    path.write_text(src)
+    assert lint_python_program([str(path)]) == []
+
+
+def test_known_rule_ids_cover_all_families():
+    known = known_rule_ids()
+    for rule in ("det-wall-clock", "det-taint", "fork-mp-queue",
+                 "trace-unknown-kind", "trace-detail-guard",
+                 "lint-stale-pragma", "lint-stale-baseline",
+                 "lint-baseline-reason", "det-syntax"):
+        assert rule in known
+
+
+# --------------------------------------------------------------- baseline
+def test_baseline_suppresses_with_reason(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import time\ndef f():\n    return time.time()\n")
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text(json.dumps({
+        "version": 1,
+        "entries": [{"rule": "det-wall-clock", "file": "bad.py",
+                     "reason": "legacy; tracked in ROADMAP"}],
+    }))
+    diags = lint_python_program([str(bad)], baseline_path=str(baseline))
+    assert diags == []
+
+
+def test_baseline_entry_without_reason_is_error(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import time\ndef f():\n    return time.time()\n")
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text(json.dumps({
+        "version": 1,
+        "entries": [{"rule": "det-wall-clock", "file": "bad.py"}],
+    }))
+    diags = lint_python_program([str(bad)], baseline_path=str(baseline))
+    assert [d.rule_id for d in diags] == ["lint-baseline-reason"]
+    assert diags[0].severity is Severity.ERROR
+
+
+def test_stale_baseline_entry_is_warning(tmp_path):
+    clean = tmp_path / "clean.py"
+    clean.write_text("def f():\n    return 1\n")
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text(json.dumps({
+        "version": 1,
+        "entries": [{"rule": "det-wall-clock", "file": "clean.py",
+                     "reason": "obsolete"}],
+    }))
+    diags = lint_python_program([str(clean)], baseline_path=str(baseline))
+    assert [d.rule_id for d in diags] == ["lint-stale-baseline"]
+    assert diags[0].severity is Severity.WARNING
+
+
+def test_baseline_roundtrip(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import time\ndef f():\n    return time.time()\n")
+    diags = lint_python_program([str(bad)])
+    doc = baseline_document(diags, reason="snapshot")
+    path = tmp_path / "generated.json"
+    path.write_text(json.dumps(doc))
+    loaded = load_baseline(str(path))
+    assert all(e.reason == "snapshot" for e in loaded.entries)
+    kept, suppressed = apply_baseline(diags, loaded)
+    assert kept == [] and suppressed == len(diags)
+
+
+def test_malformed_baseline_raises(tmp_path):
+    path = tmp_path / "nonsense.json"
+    path.write_text("[1, 2, 3]")
+    with pytest.raises(ValueError):
+        load_baseline(str(path))
+
+
+def test_repo_baseline_is_empty_or_fully_annotated():
+    repo_baseline = os.path.join(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))), "lint-baseline.json")
+    loaded = load_baseline(repo_baseline)
+    assert all(e.reason.strip() for e in loaded.entries)
+    assert loaded.entries == []  # PR 10 fixed every finding instead
+
+
+def test_baseline_matches_on_path_suffix():
+    entry = BaselineEntry(rule="det-taint", file="src/repro/x.py",
+                          reason="r")
+    from repro.analysis.diagnostics import Diagnostic, SourceSpan
+    d = Diagnostic("det-taint", Severity.ERROR, "m",
+                   span=SourceSpan(file="/abs/prefix/src/repro/x.py",
+                                   line=3))
+    assert entry.matches(d)
+    kept, suppressed = apply_baseline(
+        [d], Baseline(path="b.json", entries=[entry]))
+    assert suppressed == 1 and kept == []
+
+
+# -------------------------------------------------------- github format
+def test_github_annotations_format():
+    diags = lint_fixture("bad_mp_queue.py")
+    lines = github_annotations(diags)
+    assert len(lines) == 1
+    line = lines[0]
+    assert line.startswith("::error file=")
+    assert "line=7" in line
+    assert "[fork-mp-queue]" in line
+    assert "%0A" not in diags[0].message  # escaping only in the line
+
+
+def test_github_annotations_escape_newlines():
+    from repro.analysis.diagnostics import Diagnostic
+    d = Diagnostic("x-rule", Severity.WARNING, "two\nlines 100%")
+    (line,) = github_annotations([d])
+    assert line.startswith("::warning::")
+    assert "%0A" in line and "%25" in line and "\n" not in line
+
+
+# -------------------------------------------------------------- self lint
+def test_benchmarks_dir_has_no_raw_artifact_writes():
+    # regression for the bench-report fixture previously clobbering
+    # artifacts with Path.write_text instead of the ioutil atomics
+    bench_dir = os.path.join(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))), "benchmarks")
+    diags = lint_python_program([bench_dir])
+    raw = [d for d in diags if d.rule_id == "fork-raw-artifact-write"]
+    assert raw == [], "\n".join(d.format() for d in raw)
+
+
+def test_whole_program_self_lint_is_clean():
+    repo_baseline = os.path.join(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))), "lint-baseline.json")
+    diags = lint_python_program([self_lint_root()], full=True,
+                                baseline_path=repo_baseline)
+    assert diags == [], "\n".join(d.format() for d in diags)

@@ -55,15 +55,63 @@ def test_json_output_is_machine_readable():
     assert doc  # one structured document, not free text
 
 
-def test_list_rules_names_both_families():
+def test_list_rules_names_all_families():
     proc = run_lint("--list-rules")
     assert proc.returncode == 0
     for rule in ("det-wall-clock", "det-global-random",
                  "det-unordered-iter", "det-tracer-guard",
                  "det-port-pairing", "scenario-sync-interval",
                  "scenario-link-window", "scenario-link-dangling",
-                 "scenario-bandwidth"):
+                 "scenario-bandwidth",
+                 # PR 10 families: fork-safety, taint, trace-schema
+                 "fork-mp-queue", "fork-module-state",
+                 "fork-captured-handle", "fork-raw-artifact-write",
+                 "det-taint", "trace-unknown-kind",
+                 "trace-field-mismatch", "trace-detail-guard",
+                 "trace-unused-kind", "trace-dynamic-kind"):
         assert rule in proc.stdout
+
+
+def test_github_format_emits_annotations():
+    proc = run_lint(os.path.join(FIXTURES, "lint", "bad_wall_clock.py"),
+                    "--format", "github")
+    assert proc.returncode == 1
+    assert "::error file=" in proc.stdout
+    assert "line=" in proc.stdout
+    assert "[det-wall-clock]" in proc.stdout
+
+
+def test_unknown_format_rejected():
+    proc = run_lint("--self", "--format", "sarif")
+    assert proc.returncode == 2
+
+
+def test_new_family_fixture_fails_via_cli():
+    proc = run_lint(os.path.join(FIXTURES, "lint", "bad_mp_queue.py"))
+    assert proc.returncode == 1
+    assert "fork-mp-queue" in proc.stdout
+
+
+def test_baseline_flag_suppresses_finding(tmp_path):
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text(json.dumps({
+        "version": 1,
+        "entries": [{"rule": "fork-mp-queue", "file": "bad_mp_queue.py",
+                     "reason": "CLI test"}],
+    }))
+    proc = run_lint(os.path.join(FIXTURES, "lint", "bad_mp_queue.py"),
+                    "--baseline", str(baseline))
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def test_write_baseline_snapshot(tmp_path):
+    out = tmp_path / "generated.json"
+    proc = run_lint(os.path.join(FIXTURES, "lint", "bad_mp_queue.py"),
+                    "--write-baseline", str(out))
+    assert proc.returncode == 1  # findings still reported this run
+    doc = json.loads(out.read_text())
+    assert doc["version"] == 1
+    assert any(e["rule"] == "fork-mp-queue" for e in doc["entries"])
 
 
 def test_no_targets_prints_usage_and_exits_2():
